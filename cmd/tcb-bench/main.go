@@ -1,0 +1,73 @@
+// Command tcb-bench regenerates the paper's evaluation figures (and this
+// repository's ablations) as text tables.
+//
+// Usage:
+//
+//	tcb-bench [-duration seconds] [-seed n] [-list] [id ...]
+//
+// With no ids it runs everything: fig09–fig16 plus the ablations. Figures
+// 13–14 run the real Go engine and dominate the runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tcb/internal/experiments"
+)
+
+func main() {
+	duration := flag.Float64("duration", 5, "trace length in simulated seconds per data point")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	seeds := flag.Int("seeds", 1, "seeds to average per simulated data point")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csvDir := flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
+	flag.Parse()
+
+	opt := experiments.Options{Duration: *duration, Seed: *seed, Seeds: *seeds}
+	if *list {
+		for _, r := range experiments.All(opt) {
+			fmt.Println(r.ID)
+		}
+		return
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	want := map[string]bool{}
+	for _, id := range flag.Args() {
+		want[id] = true
+	}
+	for _, r := range experiments.All(opt) {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		fig, err := r.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := fig.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, r.ID+".csv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := fig.WriteCSV(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command tcb-gen generates, inspects and replays workload traces.
+//
+// Usage:
+//
+//	tcb-gen -out trace.json [-rate 450] [-duration 10] [-mean 20] [-var 20] [-seed 1]
+//	tcb-gen -in trace.json            # print summary statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tcb/internal/stats"
+	"tcb/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "", "write a generated trace to this path")
+	in := flag.String("in", "", "read and summarize a trace from this path")
+	rate := flag.Float64("rate", 450, "arrival rate (req/s)")
+	duration := flag.Float64("duration", 10, "trace duration (s)")
+	mean := flag.Float64("mean", 20, "mean request length (tokens)")
+	variance := flag.Float64("var", 20, "request length variance")
+	minLen := flag.Int("min", 3, "minimum request length")
+	maxLen := flag.Int("max", 100, "maximum request length")
+	dmin := flag.Float64("dmin", 0.5, "minimum deadline offset (s)")
+	dmax := flag.Float64("dmax", 3.0, "maximum deadline offset (s)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	flag.Parse()
+
+	switch {
+	case *out != "":
+		spec := workload.Spec{
+			Rate: *rate, Duration: *duration,
+			MinLen: *minLen, MaxLen: *maxLen,
+			MeanLen: *mean, VarLen: *variance,
+			DeadlineMin: *dmin, DeadlineMax: *dmax,
+			Seed: *seed,
+		}
+		reqs, err := workload.Generate(spec)
+		if err != nil {
+			fail(err)
+		}
+		if err := workload.SaveFile(*out, &spec, reqs); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d requests to %s\n", len(reqs), *out)
+	case *in != "":
+		spec, reqs, err := workload.LoadFile(*in)
+		if err != nil {
+			fail(err)
+		}
+		var lens, slacks stats.Running
+		for _, r := range reqs {
+			lens.Add(float64(r.Len))
+			slacks.Add(r.Deadline - r.Arrival)
+		}
+		fmt.Printf("requests: %d\n", len(reqs))
+		if spec != nil {
+			fmt.Printf("spec: rate=%g duration=%g seed=%d\n", spec.Rate, spec.Duration, spec.Seed)
+		}
+		if len(reqs) > 0 {
+			fmt.Printf("span: %.3fs .. %.3fs\n", reqs[0].Arrival, reqs[len(reqs)-1].Arrival)
+			fmt.Printf("length: %s\n", &lens)
+			fmt.Printf("deadline slack: %s\n", &slacks)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,154 @@
+// Command tcb-serve runs the real TCB online server (goroutine pipeline +
+// Go transformer engine) against a synthetic request stream and prints
+// end-to-end statistics: a miniature live version of the paper's serving
+// experiments.
+//
+// Usage:
+//
+//	tcb-serve [-n 64] [-rate 30] [-scheduler das|slotted|fcfs|sjf|def]
+//	          [-scheme concat|slotted|naive] [-deadline 2s] [-dmodel 64]
+//	tcb-serve -http :8080 ...     # expose the server over HTTP instead
+//
+// In HTTP mode the server listens until interrupted:
+//
+//	POST /v1/infer {"tokens": [5,6,7], "deadline_ms": 500}
+//	GET  /v1/stats
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"tcb/internal/batch"
+	"tcb/internal/engine"
+	"tcb/internal/model"
+	"tcb/internal/rng"
+	"tcb/internal/sched"
+	"tcb/internal/serve"
+	"tcb/internal/stats"
+	"tcb/internal/vocab"
+)
+
+func main() {
+	n := flag.Int("n", 64, "number of requests to send")
+	rate := flag.Float64("rate", 30, "arrival rate (req/s)")
+	schedName := flag.String("scheduler", "das", "das|slotted|fcfs|sjf|def")
+	schemeName := flag.String("scheme", "concat", "concat|slotted|naive")
+	deadline := flag.Duration("deadline", 2*time.Second, "per-request deadline")
+	httpAddr := flag.String("http", "", "serve HTTP on this address instead of running the batch demo")
+	dmodel := flag.Int("dmodel", 64, "model width")
+	maxNew := flag.Int("maxnew", 4, "generated tokens per request")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var scheduler sched.Scheduler
+	switch *schedName {
+	case "das":
+		scheduler = sched.NewDAS()
+	case "slotted":
+		scheduler = sched.NewSlottedDAS()
+	case "fcfs":
+		scheduler = sched.FCFS{}
+	case "sjf":
+		scheduler = sched.SJF{}
+	case "def":
+		scheduler = sched.DEF{}
+	default:
+		fail(fmt.Errorf("unknown scheduler %q", *schedName))
+	}
+	var scheme batch.Scheme
+	switch *schemeName {
+	case "concat":
+		scheme = batch.Concat
+	case "slotted":
+		scheme = batch.SlottedConcat
+	case "naive":
+		scheme = batch.Naive
+	default:
+		fail(fmt.Errorf("unknown scheme %q", *schemeName))
+	}
+
+	cfg := model.Config{
+		VocabSize: 256, DModel: *dmodel, NumHeads: 4, DFF: 2 * *dmodel,
+		EncLayers: 2, DecLayers: 2, MaxLen: 512, Eps: 1e-5,
+	}
+	eng := engine.New(model.New(cfg, 42), *maxNew)
+	srv, err := serve.New(serve.Config{
+		Engine: eng, Scheduler: scheduler, Scheme: scheme,
+		B: 8, L: 100,
+	})
+	if err != nil {
+		fail(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	if *httpAddr != "" {
+		fmt.Printf("serving HTTP on %s (scheduler=%s scheme=%s)\n",
+			*httpAddr, scheduler.Name(), scheme)
+		if err := http.ListenAndServe(*httpAddr, serve.NewHTTPHandler(srv)); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	src := rng.New(*seed)
+	type outcome struct {
+		ch <-chan serve.Response
+	}
+	var outs []outcome
+	start := time.Now()
+	sent, rejected := 0, 0
+	for i := 0; i < *n; i++ {
+		l := src.TruncatedNormalInt(20, 4.5, 3, 100)
+		tokens := make([]int, l)
+		for j := range tokens {
+			tokens[j] = src.IntRange(vocab.FirstWordID, cfg.VocabSize-1)
+		}
+		ch, err := srv.Submit(tokens, *deadline)
+		if err != nil {
+			rejected++
+			continue
+		}
+		sent++
+		outs = append(outs, outcome{ch})
+		time.Sleep(time.Duration(src.Exp(*rate) * float64(time.Second)))
+	}
+
+	var lat stats.Sample
+	ok, missed, failed := 0, 0, 0
+	for _, o := range outs {
+		resp := <-o.ch
+		switch {
+		case resp.Err == serve.ErrDeadlineExceeded:
+			missed++
+		case resp.Err != nil:
+			failed++
+		default:
+			ok++
+			lat.Add(resp.Served.Sub(resp.Queued).Seconds() * 1000)
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("scheduler=%s scheme=%s dmodel=%d\n", scheduler.Name(), scheme, *dmodel)
+	fmt.Printf("sent=%d rejected=%d served=%d deadline-missed=%d failed=%d\n",
+		sent, rejected, ok, missed, failed)
+	fmt.Printf("wall=%.2fs throughput=%.1f resp/s\n", elapsed.Seconds(), float64(ok)/elapsed.Seconds())
+	if lat.N() > 0 {
+		fmt.Printf("latency ms: p50=%.1f p95=%.1f p99=%.1f\n",
+			lat.Percentile(50), lat.Percentile(95), lat.Percentile(99))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

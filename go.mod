@@ -1,0 +1,3 @@
+module tcb
+
+go 1.22

@@ -1,0 +1,29 @@
+package batch
+
+// PackNaive builds a NaiveBatching (TNB) batch: one request per row, at most
+// maxRows rows, every row padded to the longest admitted request (PyTorch's
+// default collation, Fig. 1a). Items longer than maxLen are skipped (the
+// model cannot process them). It returns the batch and the items that did
+// not fit (skipped or beyond capacity), preserving input order.
+func PackNaive(items []Item, maxRows, maxLen int) (*Batch, []Item) {
+	b := &Batch{Scheme: Naive}
+	var rest []Item
+	longest := 0
+	for _, it := range items {
+		switch {
+		case it.Len > maxLen:
+			rest = append(rest, it)
+		case len(b.Rows) < maxRows:
+			b.Rows = append(b.Rows, Row{Items: []Item{it}})
+			if it.Len > longest {
+				longest = it.Len
+			}
+		default:
+			rest = append(rest, it)
+		}
+	}
+	for i := range b.Rows {
+		b.Rows[i].PadTo = longest
+	}
+	return b, rest
+}

@@ -1,0 +1,95 @@
+package batch
+
+// PackConcatOptimal solves the row-packing subproblem exactly for small
+// instances by branch and bound: choose a subset of items and an
+// assignment to at most maxRows rows of capacity rowLen that maximizes the
+// total packed token count (the quantity first-fit heuristics approximate).
+// Ties prefer more items packed.
+//
+// The search is exponential; it exists to measure the heuristics' gap in
+// tests and the packing ablation. Keep len(items) ≤ ~16.
+func PackConcatOptimal(items []Item, maxRows, rowLen int) (*Batch, []Item) {
+	n := len(items)
+	type state struct {
+		assign []int // item index -> row index or -1
+		tokens int
+		count  int
+	}
+	best := state{assign: make([]int, n), tokens: -1}
+	cur := state{assign: make([]int, n)}
+	used := make([]int, maxRows)
+
+	// Upper-bound pruning: remaining tokens if everything else fit.
+	suffix := make([]int, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + items[i].Len
+	}
+
+	var rec func(i, openRows int)
+	rec = func(i, openRows int) {
+		if cur.tokens+suffix[i] < best.tokens {
+			return // cannot beat the incumbent
+		}
+		if i == n {
+			if cur.tokens > best.tokens ||
+				(cur.tokens == best.tokens && cur.count > best.count) {
+				best.tokens = cur.tokens
+				best.count = cur.count
+				copy(best.assign, cur.assign)
+			}
+			return
+		}
+		it := items[i]
+		// Try placing into each open row (and at most one new row — rows
+		// are interchangeable, so opening "the next" row suffices).
+		limit := openRows
+		if openRows < maxRows {
+			limit = openRows + 1
+		}
+		for r := 0; r < limit; r++ {
+			if used[r]+it.Len > rowLen || it.Len > rowLen {
+				continue
+			}
+			used[r] += it.Len
+			cur.assign[i] = r
+			cur.tokens += it.Len
+			cur.count++
+			next := openRows
+			if r == openRows {
+				next = openRows + 1
+			}
+			rec(i+1, next)
+			used[r] -= it.Len
+			cur.tokens -= it.Len
+			cur.count--
+		}
+		// Or skip the item.
+		cur.assign[i] = -1
+		rec(i+1, openRows)
+	}
+	rec(0, 0)
+
+	b := &Batch{Scheme: Concat}
+	var rest []Item
+	if best.tokens < 0 {
+		return b, append(rest, items...)
+	}
+	rowsNeeded := 0
+	for _, r := range best.assign {
+		if r+1 > rowsNeeded {
+			rowsNeeded = r + 1
+		}
+	}
+	b.Rows = make([]Row, rowsNeeded)
+	for i := range b.Rows {
+		b.Rows[i].PadTo = rowLen
+	}
+	for i, r := range best.assign {
+		if r == -1 {
+			rest = append(rest, items[i])
+		} else {
+			b.Rows[r].Items = append(b.Rows[r].Items, items[i])
+		}
+	}
+	return b, rest
+}

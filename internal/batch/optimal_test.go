@@ -1,0 +1,97 @@
+package batch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcb/internal/rng"
+)
+
+func TestPackConcatOptimalSimple(t *testing.T) {
+	// {6, 5, 4, 3, 2} into 2 rows of 10: optimal packs everything (6+4, 5+3+2).
+	b, rest := PackConcatOptimal(items(6, 5, 4, 3, 2), 2, 10)
+	if len(rest) != 0 {
+		t.Fatalf("rest = %v, optimal should pack all 20 tokens", rest)
+	}
+	if b.UsedTokens() != 20 {
+		t.Fatalf("used = %d", b.UsedTokens())
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackConcatOptimalSkipsWhenForced(t *testing.T) {
+	// One row of 10; items 7, 6, 4: best is 7+? no pair fits except 6+4.
+	b, rest := PackConcatOptimal(items(7, 6, 4), 1, 10)
+	if b.UsedTokens() != 10 {
+		t.Fatalf("used = %d, want 10 (6+4)", b.UsedTokens())
+	}
+	if len(rest) != 1 || rest[0].Len != 7 {
+		t.Fatalf("rest = %v", rest)
+	}
+}
+
+func TestPackConcatOptimalOversized(t *testing.T) {
+	b, rest := PackConcatOptimal(items(20), 2, 10)
+	if b.NumItems() != 0 || len(rest) != 1 {
+		t.Fatalf("oversized item must be rejected: %v, %v", b.NumItems(), rest)
+	}
+}
+
+func TestPackConcatOptimalEmpty(t *testing.T) {
+	b, rest := PackConcatOptimal(nil, 2, 10)
+	if b.NumItems() != 0 || len(rest) != 0 {
+		t.Fatal("empty input should give empty outputs")
+	}
+}
+
+// Property: optimal never packs fewer tokens than first-fit or FFD, and
+// stays structurally valid.
+func TestOptimalDominatesHeuristics(t *testing.T) {
+	src := rng.New(77)
+	f := func(raw []uint8, rowsRaw uint8) bool {
+		maxRows := int(rowsRaw%3) + 1
+		rowLen := 10
+		var its []Item
+		for i, r := range raw {
+			if i >= 9 {
+				break
+			}
+			its = append(its, Item{ID: int64(i + 1), Len: int(r%9) + 1})
+		}
+		_ = src
+		opt, _ := PackConcatOptimal(its, maxRows, rowLen)
+		if opt.Validate() != nil {
+			return false
+		}
+		ff, _ := PackConcat(its, maxRows, rowLen)
+		ffd, _ := PackConcatFFD(its, maxRows, rowLen)
+		return opt.UsedTokens() >= ff.UsedTokens() && opt.UsedTokens() >= ffd.UsedTokens()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Measure the first-fit gap on random paper-like instances: FFD and
+// first-fit should be within a few percent of optimal.
+func TestHeuristicGapSmall(t *testing.T) {
+	src := rng.New(88)
+	var optTotal, ffTotal int
+	for trial := 0; trial < 50; trial++ {
+		var its []Item
+		for i := 0; i < 10; i++ {
+			its = append(its, Item{ID: int64(i + 1), Len: src.TruncatedNormalInt(20, 4.5, 3, 40)})
+		}
+		opt, _ := PackConcatOptimal(its, 2, 50)
+		ff, _ := PackConcat(its, 2, 50)
+		optTotal += opt.UsedTokens()
+		ffTotal += ff.UsedTokens()
+	}
+	ratio := float64(ffTotal) / float64(optTotal)
+	if ratio < 0.85 {
+		t.Fatalf("first-fit at %.1f%% of optimal — suspiciously poor", 100*ratio)
+	}
+	t.Logf("first-fit packs %.1f%% of optimal tokens", 100*ratio)
+}

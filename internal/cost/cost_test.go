@@ -1,0 +1,299 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"tcb/internal/batch"
+	"tcb/internal/model"
+)
+
+func testCfg() model.Config { return model.TestConfig(100) }
+
+func TestTokenFLOPsPositiveAndScales(t *testing.T) {
+	small := TokenFLOPs(testCfg())
+	if small <= 0 {
+		t.Fatal("token FLOPs must be positive")
+	}
+	big := TokenFLOPs(model.PaperConfig(100))
+	if big <= small {
+		t.Fatal("paper config must cost more per token")
+	}
+	// Doubling d roughly quadruples the projection cost.
+	cfg2 := testCfg()
+	cfg2.DModel *= 2
+	cfg2.DFF *= 2
+	if TokenFLOPs(cfg2) < 3*small {
+		t.Fatalf("scaling check: %v vs %v", TokenFLOPs(cfg2), small)
+	}
+}
+
+func TestScoreFLOPs(t *testing.T) {
+	cfg := testCfg()
+	want := float64(cfg.EncLayers+2*cfg.DecLayers) * 4 * float64(cfg.DModel)
+	if got := ScoreFLOPs(cfg); got != want {
+		t.Fatalf("ScoreFLOPs = %v, want %v", got, want)
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := DefaultParams(testCfg())
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Params{PerTokenSeconds: 0}
+	if bad.Validate() == nil {
+		t.Fatal("zero per-token time should fail")
+	}
+}
+
+func concatBatch(rowLen int, rows int, lens ...int) *batch.Batch {
+	items := make([]batch.Item, len(lens))
+	for i, l := range lens {
+		items[i] = batch.Item{ID: int64(i + 1), Len: l}
+	}
+	b, rest := batch.PackConcat(items, rows, rowLen)
+	if len(rest) != 0 {
+		panic("batch did not fit")
+	}
+	return b
+}
+
+func TestBatchTimeEmptyIsZero(t *testing.T) {
+	p := DefaultParams(testCfg())
+	if got := p.BatchTime(&batch.Batch{Scheme: batch.Concat}); got != 0 {
+		t.Fatalf("empty batch time = %v", got)
+	}
+}
+
+func TestBatchTimeMonotoneInPadding(t *testing.T) {
+	p := DefaultParams(testCfg())
+	// Same items, wider rows → more padded tokens → strictly more time
+	// (cost-model invariant 6 in DESIGN.md).
+	narrow := concatBatch(50, 2, 20, 20)
+	wide := concatBatch(100, 2, 20, 20)
+	if p.BatchTime(wide) <= p.BatchTime(narrow) {
+		t.Fatalf("padding must cost time: wide %v <= narrow %v",
+			p.BatchTime(wide), p.BatchTime(narrow))
+	}
+}
+
+func TestSlottingNeverSlower(t *testing.T) {
+	p := DefaultParams(testCfg())
+	items := []batch.Item{{ID: 1, Len: 20}, {ID: 2, Len: 20}, {ID: 3, Len: 20}, {ID: 4, Len: 20}}
+	pure, rest := batch.PackConcat(items, 1, 80)
+	if len(rest) != 0 {
+		t.Fatal("pure pack failed")
+	}
+	slotted, rest := batch.PackSlotted(items, 1, 80, 20)
+	if len(rest) != 0 {
+		t.Fatal("slotted pack failed")
+	}
+	if p.BatchTime(slotted) >= p.BatchTime(pure) {
+		t.Fatalf("slotting must reduce time: slotted %v >= pure %v",
+			p.BatchTime(slotted), p.BatchTime(pure))
+	}
+}
+
+func TestPlanTimeSumsSubBatches(t *testing.T) {
+	p := DefaultParams(testCfg())
+	b1 := concatBatch(50, 1, 30)
+	b2 := concatBatch(50, 1, 40)
+	want := p.BatchTime(b1) + p.BatchTime(b2)
+	if got := p.PlanTime([]*batch.Batch{b1, b2}); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("plan time = %v, want %v", got, want)
+	}
+}
+
+func TestTurboPaysPerGroupOverhead(t *testing.T) {
+	p := DefaultParams(testCfg())
+	items := []batch.Item{{ID: 1, Len: 5}, {ID: 2, Len: 6}, {ID: 3, Len: 90}, {ID: 4, Len: 95}}
+	plan, rest := batch.PackTurbo(items, batch.TurboParams{MaxRows: 64, MaxLen: 100, Overhead: 20})
+	if len(rest) != 0 {
+		t.Fatal("turbo pack failed")
+	}
+	if len(plan) < 2 {
+		t.Fatalf("expected ≥2 turbo groups, got %d", len(plan))
+	}
+	total := p.PlanTime(plan)
+	// The plan pays batch overhead and decode rounds once per group.
+	var want float64
+	for _, b := range plan {
+		want += p.PerBatchSeconds +
+			float64(b.TotalTokens())*p.PerTokenSeconds +
+			float64(b.ScoreArea())*p.PerScoreSeconds +
+			p.DecodeRounds*(p.PerRoundSeconds+float64(b.NumItems())*p.PerSegmentRoundSeconds)
+	}
+	if math.Abs(total-want) > 1e-12 {
+		t.Fatalf("overhead accounting wrong: %v vs %v", total, want)
+	}
+}
+
+func TestDecodeTermsScaleWithItems(t *testing.T) {
+	p := Params{
+		PerTokenSeconds: 1e-6, PerScoreSeconds: 0, PerBatchSeconds: 0,
+		DecodeRounds: 10, PerSegmentRoundSeconds: 1e-4, PerRoundSeconds: 1e-3,
+	}
+	one := concatBatch(100, 1, 20)
+	five := concatBatch(100, 1, 20, 20, 20, 20, 20)
+	// Same single row padded to 100 (identical encode work), 5× the
+	// requests: decode grows by exactly 4 requests × rounds × per-segment.
+	wantDelta := 10 * 1e-4 * 4
+	gotDelta := p.BatchTime(five) - p.BatchTime(one)
+	if math.Abs(gotDelta-wantDelta) > 1e-12 {
+		t.Fatalf("decode delta = %v, want %v", gotDelta, wantDelta)
+	}
+}
+
+func TestValidateRejectsNegativeDecodeTerms(t *testing.T) {
+	p := DefaultParams(testCfg())
+	p.DecodeRounds = -1
+	if p.Validate() == nil {
+		t.Fatal("negative decode rounds should fail")
+	}
+}
+
+func TestCalibrateRecoversConstants(t *testing.T) {
+	// Synthesize measurements from known constants and recover them.
+	truth := Params{PerTokenSeconds: 2e-6, PerScoreSeconds: 3e-9, PerBatchSeconds: 5e-4}
+	var ms []Measurement
+	for _, tokens := range []int{100, 500, 1000, 5000} {
+		area := tokens * 10
+		secs := truth.PerBatchSeconds +
+			float64(tokens)*truth.PerTokenSeconds +
+			float64(area)*truth.PerScoreSeconds
+		ms = append(ms, Measurement{Tokens: tokens, ScoreArea: area, Seconds: secs})
+	}
+	got, err := Calibrate(ms, truth.PerScoreSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.PerTokenSeconds-truth.PerTokenSeconds) > 1e-12 {
+		t.Fatalf("per-token = %v, want %v", got.PerTokenSeconds, truth.PerTokenSeconds)
+	}
+	if math.Abs(got.PerBatchSeconds-truth.PerBatchSeconds) > 1e-9 {
+		t.Fatalf("per-batch = %v, want %v", got.PerBatchSeconds, truth.PerBatchSeconds)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	if _, err := Calibrate([]Measurement{{Tokens: 1, Seconds: 1}}, 0); err == nil {
+		t.Fatal("single measurement should fail")
+	}
+	// Decreasing time with tokens → non-physical slope.
+	ms := []Measurement{
+		{Tokens: 100, Seconds: 2},
+		{Tokens: 200, Seconds: 1},
+	}
+	if _, err := Calibrate(ms, 0); err == nil {
+		t.Fatal("negative slope should fail")
+	}
+}
+
+func TestCalibrateClampsNegativeIntercept(t *testing.T) {
+	ms := []Measurement{
+		{Tokens: 100, Seconds: 0.0001},
+		{Tokens: 200, Seconds: 0.0003},
+	}
+	p, err := Calibrate(ms, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PerBatchSeconds < 0 {
+		t.Fatalf("intercept must clamp to 0, got %v", p.PerBatchSeconds)
+	}
+}
+
+func TestOverlapSavingsZeroForDense(t *testing.T) {
+	p := DefaultParams(testCfg())
+	b := concatBatch(100, 2, 20, 20)
+	if s := p.OverlapSavings(b); s != 0 {
+		t.Fatalf("dense scheme overlap = %v, want 0", s)
+	}
+}
+
+func TestOverlapSavingsPositiveForHeterogeneousSlots(t *testing.T) {
+	p := DefaultParams(testCfg())
+	// Two slots with very different load: 5 vs 20 tokens.
+	items := []batch.Item{{ID: 1, Len: 5}, {ID: 2, Len: 20}}
+	b, rest := batch.PackSlotted(items, 1, 40, 20)
+	if len(rest) != 0 {
+		t.Fatal("pack failed")
+	}
+	s := p.OverlapSavings(b)
+	if s <= 0 {
+		t.Fatalf("heterogeneous slots should overlap, got %v", s)
+	}
+	if load := p.LoadFraction * p.PerBatchSeconds; s > load+1e-15 {
+		t.Fatalf("savings %v exceed the load cost %v", s, load)
+	}
+}
+
+func TestOverlapSavingsZeroForUniformSlots(t *testing.T) {
+	p := DefaultParams(testCfg())
+	// Identical slots finish together: no window.
+	items := []batch.Item{{ID: 1, Len: 10}, {ID: 2, Len: 10}}
+	b, rest := batch.PackSlotted(items, 1, 20, 10)
+	if len(rest) != 0 {
+		t.Fatal("pack failed")
+	}
+	if s := p.OverlapSavings(b); s != 0 {
+		t.Fatalf("uniform slots overlap = %v, want 0", s)
+	}
+}
+
+func TestOverlapSavingsEmptyBatch(t *testing.T) {
+	p := DefaultParams(testCfg())
+	if s := p.OverlapSavings(&batch.Batch{Scheme: batch.SlottedConcat, SlotSize: 10}); s != 0 {
+		t.Fatalf("empty batch overlap = %v", s)
+	}
+}
+
+func TestDecodeDuration(t *testing.T) {
+	p := Params{PerTokenSeconds: 1, DecodeRounds: 10, PerRoundSeconds: 2, PerSegmentRoundSeconds: 3}
+	b := concatBatch(100, 1, 20, 20)
+	want := 10 * (2 + 2*3.0)
+	if got := p.DecodeDuration(b); got != want {
+		t.Fatalf("decode duration = %v, want %v", got, want)
+	}
+}
+
+func TestCalibrateFullRecoversConstants(t *testing.T) {
+	truth := Params{PerTokenSeconds: 3e-6, PerScoreSeconds: 2e-9, PerBatchSeconds: 4e-4}
+	var ms []Measurement
+	// Vary tokens and area independently.
+	for _, tokens := range []int{100, 400, 1600} {
+		for _, areaFactor := range []int{5, 40} {
+			area := tokens * areaFactor
+			ms = append(ms, Measurement{
+				Tokens: tokens, ScoreArea: area,
+				Seconds: truth.PerBatchSeconds +
+					float64(tokens)*truth.PerTokenSeconds +
+					float64(area)*truth.PerScoreSeconds,
+			})
+		}
+	}
+	got, err := CalibrateFull(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.PerTokenSeconds-truth.PerTokenSeconds) > 1e-12 ||
+		math.Abs(got.PerScoreSeconds-truth.PerScoreSeconds) > 1e-13 ||
+		math.Abs(got.PerBatchSeconds-truth.PerBatchSeconds) > 1e-9 {
+		t.Fatalf("fit = %+v, want %+v", got, truth)
+	}
+}
+
+func TestCalibrateFullErrors(t *testing.T) {
+	if _, err := CalibrateFull(nil); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	// Collinear tokens/area → singular.
+	var ms []Measurement
+	for _, tokens := range []int{100, 200, 300, 400} {
+		ms = append(ms, Measurement{Tokens: tokens, ScoreArea: tokens * 2, Seconds: float64(tokens)})
+	}
+	if _, err := CalibrateFull(ms); err == nil {
+		t.Fatal("collinear design should fail")
+	}
+}

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"testing"
+
+	"tcb/internal/cost"
+)
+
+func TestMeasureCostProducesFittableGrid(t *testing.T) {
+	e := testEngine(t, 0) // encode-only
+	ms, err := MeasureCost(e, 80, 10, []int{1, 2, 4}, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 6 { // 3 row counts × 2 partitions
+		t.Fatalf("measurements = %d, want 6", len(ms))
+	}
+	// The grid must vary area at fixed tokens (that is its whole point).
+	sameTokensDiffArea := false
+	for i := 0; i < len(ms); i += 2 {
+		if ms[i].Tokens == ms[i+1].Tokens && ms[i].ScoreArea != ms[i+1].ScoreArea {
+			sameTokensDiffArea = true
+		}
+	}
+	if !sameTokensDiffArea {
+		t.Fatalf("grid lacks independent area variation: %+v", ms)
+	}
+	p, err := cost.CalibrateFull(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("fitted params invalid: %v (%+v)", err, p)
+	}
+	// The fit must roughly predict a fresh measurement (generous bound —
+	// wall-clock on CI is noisy).
+	fresh, err := MeasureCost(e, 80, 10, []int{3}, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range fresh {
+		pred := p.PerBatchSeconds +
+			float64(m.Tokens)*p.PerTokenSeconds +
+			float64(m.ScoreArea)*p.PerScoreSeconds
+		if pred <= 0 {
+			t.Fatalf("non-positive prediction %v for %+v", pred, m)
+		}
+		ratio := pred / m.Seconds
+		if ratio < 0.2 || ratio > 5 {
+			t.Fatalf("prediction %v vs measured %v (ratio %v) out of band", pred, m.Seconds, ratio)
+		}
+	}
+}
+
+func TestMeasureCostValidation(t *testing.T) {
+	e := testEngine(t, 0)
+	if _, err := MeasureCost(e, 80, 7, []int{1}, 1, 1); err == nil {
+		t.Fatal("non-dividing reqLen should fail")
+	}
+	if _, err := MeasureCost(e, 80, 10, []int{0}, 1, 1); err == nil {
+		t.Fatal("zero rows should fail")
+	}
+	dec := testEngine(t, 3)
+	if _, err := MeasureCost(dec, 80, 10, []int{1}, 1, 1); err == nil {
+		t.Fatal("decoding engine should be rejected")
+	}
+}

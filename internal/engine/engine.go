@@ -1,0 +1,251 @@
+// Package engine executes batch layouts on the real Go transformer: it is
+// the TCB "customized inference engine" of Fig. 3. Given a batch.Batch and
+// the token sequences of its items, the engine builds each row's
+// concatenated layout, runs the ConcatBatching-aware encoder and the
+// auto-regressive decoder, and returns per-request outputs together with
+// wall-clock timing and simulated-memory accounting.
+//
+// The engine supports all batching schemes: Naive and Turbo rows hold a
+// single segment (the padded baseline layouts), Concat rows hold many
+// segments with dense masked attention, and SlottedConcat rows use the
+// per-slot attention of §4.2 plus early memory cleaning.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tcb/internal/batch"
+	"tcb/internal/gpu"
+	"tcb/internal/model"
+	"tcb/internal/vocab"
+)
+
+// Engine runs batches on a model.
+type Engine struct {
+	Model *model.Model
+	// MaxNew bounds generated tokens per request (decoder steps).
+	MaxNew int
+	// OutputCap, when non-nil, bounds each request's generation by a
+	// function of its input length (further clamped by MaxNew). Seq2seq
+	// services typically produce output proportional to input, which is
+	// what staggers finish times inside a batch (§4.2.2).
+	OutputCap func(inputLen int) int
+	// UseCache selects the KV-cached incremental decoder (O(T) token
+	// passes per segment) instead of the mask-based re-run decoder
+	// (O(T²)). Outputs are identical; the cache is per segment, so it is
+	// valid under every batching scheme.
+	UseCache bool
+	// BytesPerToken is the simulated activation footprint used for the
+	// memory reports (d_model × 4 bytes × a small constant in a real
+	// system; any positive value preserves the comparisons).
+	BytesPerToken int64
+	// Mem, when non-nil, enforces a device-memory budget: each batch
+	// reserves TotalTokens × BytesPerToken of activation memory for the
+	// duration of its run and Run fails with the allocator's error when
+	// the batch does not fit — the admission behaviour a real device
+	// shows instead of silently thrashing.
+	Mem *gpu.MemoryManager
+}
+
+// New returns an engine over m generating at most maxNew tokens per request.
+func New(m *model.Model, maxNew int) *Engine {
+	return &Engine{Model: m, MaxNew: maxNew, BytesPerToken: int64(m.Cfg.DModel) * 4}
+}
+
+// Result is the output for one request.
+type Result struct {
+	ID     int64
+	Output []int // generated token ids, EOS excluded
+	Steps  int   // decoder steps until this request finished
+}
+
+// Report summarizes one batch execution.
+type Report struct {
+	Results []Result
+	Elapsed time.Duration
+	// Memory reports are present when the batch decodes (MaxNew > 0):
+	// WholeBatch is the §4.2.2 baseline, Early the slotted policy (only
+	// for SlottedConcat batches; zero value otherwise).
+	WholeBatch gpu.CleaningReport
+	Early      gpu.CleaningReport
+	HasEarly   bool
+}
+
+// Run executes b. tokens maps item IDs to their input token sequences; the
+// sequence length must equal the item's Len. Rows execute in parallel —
+// the batch dimension of a real GPU launch.
+func (e *Engine) Run(b *batch.Batch, tokens map[int64][]int) (*Report, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	for _, it := range b.Items() {
+		seq, ok := tokens[it.ID]
+		if !ok {
+			return nil, fmt.Errorf("engine: no tokens for item %d", it.ID)
+		}
+		if len(seq) != it.Len {
+			return nil, fmt.Errorf("engine: item %d has %d tokens, layout says %d",
+				it.ID, len(seq), it.Len)
+		}
+	}
+	mode := model.AttDense
+	if b.Scheme == batch.SlottedConcat {
+		mode = model.AttSlotted
+	}
+
+	if e.Mem != nil && b.TotalTokens() > 0 {
+		tag := fmt.Sprintf("batch-%p", b)
+		if err := e.Mem.Alloc(tag, int64(b.TotalTokens())*e.BytesPerToken); err != nil {
+			return nil, err
+		}
+		defer func() {
+			_ = e.Mem.Free(tag)
+		}()
+	}
+
+	start := time.Now()
+	type rowOut struct {
+		results []Result
+		err     error
+	}
+	outs := make([]rowOut, len(b.Rows))
+	var wg sync.WaitGroup
+	for ri := range b.Rows {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			res, err := e.runRow(b, b.Rows[ri], tokens, mode)
+			outs[ri] = rowOut{res, err}
+		}(ri)
+	}
+	wg.Wait()
+
+	rep := &Report{Elapsed: time.Since(start)}
+	finish := make(map[int64]int)
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		rep.Results = append(rep.Results, o.results...)
+		for _, r := range o.results {
+			finish[r.ID] = r.Steps
+		}
+	}
+	if e.MaxNew > 0 && len(rep.Results) > 0 {
+		whole, err := gpu.SimulateWholeBatchCleaning(b, finish, e.BytesPerToken)
+		if err != nil {
+			return nil, err
+		}
+		rep.WholeBatch = whole
+		if b.Scheme == batch.SlottedConcat {
+			early, err := gpu.SimulateEarlyCleaning(b, finish, e.BytesPerToken)
+			if err != nil {
+				return nil, err
+			}
+			rep.Early = early
+			rep.HasEarly = true
+		}
+	}
+	return rep, nil
+}
+
+// runRow executes one batch row: concatenate the items' tokens, encode,
+// decode, split results back per item.
+func (e *Engine) runRow(b *batch.Batch, row batch.Row, tokens map[int64][]int, mode model.AttentionMode) ([]Result, error) {
+	if len(row.Items) == 0 {
+		return nil, nil
+	}
+	lengths := make([]int, len(row.Items))
+	rowTokens := make([]int, 0, row.PadTo)
+	for i, it := range row.Items {
+		lengths[i] = it.Len
+		rowTokens = append(rowTokens, tokens[it.ID]...)
+	}
+	for len(rowTokens) < row.PadTo {
+		rowTokens = append(rowTokens, vocab.PadID)
+	}
+	layout := model.ConcatLayout(lengths, row.PadTo)
+
+	var slots []model.Slot
+	if mode == model.AttSlotted {
+		slots = e.slotsForRow(b, row, layout)
+	}
+	encOut := e.Model.EncodeRow(rowTokens, layout, slots, mode, true)
+	if e.MaxNew == 0 {
+		out := make([]Result, len(row.Items))
+		for i, it := range row.Items {
+			out[i] = Result{ID: it.ID}
+		}
+		return out, nil
+	}
+	caps := make([]int, len(row.Items))
+	for i, it := range row.Items {
+		caps[i] = e.MaxNew
+		if e.OutputCap != nil {
+			if c := e.OutputCap(it.Len); c < caps[i] {
+				caps[i] = c
+			}
+		}
+		if caps[i] < 0 {
+			caps[i] = 0
+		}
+	}
+	var gen []model.GenerateResult
+	if e.UseCache {
+		var err error
+		gen, err = e.Model.GenerateRowCached(encOut, layout, caps)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		gen = e.Model.GenerateRowCapped(encOut, layout, slots, caps, mode)
+	}
+	out := make([]Result, len(row.Items))
+	for i, it := range row.Items {
+		out[i] = Result{ID: it.ID, Output: gen[i].Tokens, Steps: gen[i].Steps}
+	}
+	return out, nil
+}
+
+// slotsForRow converts the batch's physical slot grouping into the model's
+// Slot descriptors over the row layout.
+func (e *Engine) slotsForRow(b *batch.Batch, row batch.Row, layout model.RowLayout) []model.Slot {
+	groups := b.SlotGroups(row)
+	var slots []model.Slot
+	seg := 0
+	for _, g := range groups {
+		var s model.Slot
+		first := true
+		for range g {
+			sg := layout.Segments[seg]
+			if first {
+				s.Start = sg.Start
+				first = false
+			}
+			s.SegIdx = append(s.SegIdx, seg)
+			s.Len = sg.End() - s.Start
+			seg++
+		}
+		if !first {
+			slots = append(slots, s)
+		}
+	}
+	return slots
+}
+
+// RunSingle serves one request alone (no batching): the correctness
+// reference for the equivalence tests and examples.
+func (e *Engine) RunSingle(id int64, tokens []int) (Result, error) {
+	items := []batch.Item{{ID: id, Len: len(tokens)}}
+	b, rest := batch.PackConcat(items, 1, len(tokens))
+	if len(rest) != 0 {
+		return Result{}, fmt.Errorf("engine: single request did not pack")
+	}
+	rep, err := e.Run(b, map[int64][]int{id: tokens})
+	if err != nil {
+		return Result{}, err
+	}
+	return rep.Results[0], nil
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tcb/internal/batch"
+	"tcb/internal/sched"
+	"tcb/internal/sim"
+)
+
+// rateSweepRates are the arrival rates of Figs. 9 and 10.
+var rateSweepRates = []float64{40, 80, 120, 180, 200, 250, 350, 450, 1000, 1500}
+
+// fcfsSweepRates are the arrival rates of Figs. 11 and 12.
+var fcfsSweepRates = []float64{40, 60, 80, 100, 120, 140, 250, 1000, 1250, 1500}
+
+// rateSweep runs the three systems (TNB, TTB, TCB) under the given
+// scheduler factory across rates, collecting either utility or throughput.
+func rateSweep(id, title, metric string, rates []float64, variance float64,
+	newSched func() sched.Scheduler, opt Options) (*Figure, error) {
+	fig := &Figure{
+		ID: id, Title: title,
+		XLabel: "rate(req/s)",
+		YLabel: metric,
+		X:      rates,
+	}
+	schedName := newSched().Name()
+	systems := []struct {
+		label  string
+		scheme batch.Scheme
+	}{
+		{schedName + "-TNB", batch.Naive},
+		{schedName + "-TTB", batch.Turbo},
+		{schedName + "-TCB", batch.Concat},
+	}
+	seeds := opt.seedList()
+	for _, rate := range rates {
+		for _, sysDef := range systems {
+			var acc float64
+			for _, seed := range seeds {
+				seedOpt := opt
+				seedOpt.Seed = seed
+				trace, err := paperTrace(rate, variance, seedOpt)
+				if err != nil {
+					return nil, err
+				}
+				m, err := sim.Run(sim.System{
+					Name:      sysDef.label,
+					Scheduler: newSched(),
+					Scheme:    sysDef.scheme,
+					B:         PaperBatchRows,
+					L:         PaperRowLen,
+					Cost:      V100Params(),
+				}, trace)
+				if err != nil {
+					return nil, fmt.Errorf("%s at rate %g: %w", sysDef.label, rate, err)
+				}
+				switch metric {
+				case "utility":
+					acc += m.Utility
+				case "throughput":
+					acc += m.Throughput()
+				default:
+					return nil, fmt.Errorf("unknown metric %q", metric)
+				}
+			}
+			fig.AddPoint(sysDef.label, acc/float64(len(seeds)))
+		}
+	}
+	return fig, fig.Validate()
+}
+
+// Fig09 reproduces "Utility under different request rates" (DAS scheduling,
+// input length 3–100, average 20, variance 20, batch size 64).
+func Fig09(opt Options) (*Figure, error) {
+	return rateSweep("fig09", "Utility under different request rates (DAS)",
+		"utility", rateSweepRates, 20,
+		func() sched.Scheduler { return expDAS() }, opt)
+}
+
+// Fig10 reproduces "Serving throughput under different request rates"
+// (same setting as Fig. 9).
+func Fig10(opt Options) (*Figure, error) {
+	return rateSweep("fig10", "Serving throughput under different request rates (DAS)",
+		"throughput", rateSweepRates, 20,
+		func() sched.Scheduler { return expDAS() }, opt)
+}
+
+// Fig11 reproduces "Serving throughput under different request rates when
+// using FCFS" with length variance 20.
+func Fig11(opt Options) (*Figure, error) {
+	return rateSweep("fig11", "Serving throughput, FCFS scheduling, variance 20",
+		"throughput", fcfsSweepRates, 20,
+		func() sched.Scheduler { return sched.FCFS{} }, opt)
+}
+
+// Fig12 reproduces Fig. 11 with length variance 100, where TurboBatching's
+// similar-length assumption degrades.
+func Fig12(opt Options) (*Figure, error) {
+	return rateSweep("fig12", "Serving throughput, FCFS scheduling, variance 100",
+		"throughput", fcfsSweepRates, 100,
+		func() sched.Scheduler { return sched.FCFS{} }, opt)
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tcb/internal/batch"
+	"tcb/internal/sched"
+	"tcb/internal/sim"
+)
+
+// fig15Schedulers are the four algorithms §6.2.4 compares on the TCB
+// engine.
+func fig15Schedulers() []func() sched.Scheduler {
+	return []func() sched.Scheduler{
+		func() sched.Scheduler { return expDAS() },
+		func() sched.Scheduler { return sched.SJF{} },
+		func() sched.Scheduler { return sched.FCFS{} },
+		func() sched.Scheduler { return sched.DEF{} },
+	}
+}
+
+// fig15Rate is the arrival pressure for the scheduler comparison: well
+// above saturation so scheduling decisions matter.
+const fig15Rate = 700
+
+// schedulerSweep runs the four schedulers over the TCB engine for every
+// (B, L, variance) in the given points, recording total utility.
+func schedulerSweep(id, title, xlabel string, xs []float64,
+	point func(x float64) (B, L int, variance float64), opt Options) (*Figure, error) {
+	fig := &Figure{ID: id, Title: title, XLabel: xlabel, YLabel: "utility", X: xs}
+	seeds := opt.seedList()
+	for _, x := range xs {
+		B, L, variance := point(x)
+		for _, mk := range fig15Schedulers() {
+			var acc float64
+			var name string
+			for _, seed := range seeds {
+				seedOpt := opt
+				seedOpt.Seed = seed
+				trace, err := paperTrace(fig15Rate, variance, seedOpt)
+				if err != nil {
+					return nil, err
+				}
+				s := mk()
+				name = s.Name()
+				m, err := sim.Run(sim.System{
+					Name:      s.Name() + "-TCB",
+					Scheduler: s,
+					Scheme:    batch.Concat,
+					B:         B,
+					L:         L,
+					Cost:      V100Params(),
+				}, trace)
+				if err != nil {
+					return nil, fmt.Errorf("%s at %s=%g: %w", s.Name(), xlabel, x, err)
+				}
+				acc += m.Utility
+			}
+			fig.AddPoint(name+"-TCB", acc/float64(len(seeds)))
+		}
+	}
+	return fig, fig.Validate()
+}
+
+// Fig15a reproduces "Utility under different batch sizes" (B ∈ {5, 10, 16}).
+func Fig15a(opt Options) (*Figure, error) {
+	return schedulerSweep("fig15a", "Utility under different batch sizes (TCB engine)",
+		"batch-size", []float64{5, 10, 16},
+		func(x float64) (int, int, float64) { return int(x), PaperRowLen, 20 }, opt)
+}
+
+// Fig15b reproduces "Utility under different variances" (variance ∈
+// {10, 50, 100}, batch size 16).
+func Fig15b(opt Options) (*Figure, error) {
+	return schedulerSweep("fig15b", "Utility under different length variances (batch size 16)",
+		"variance", []float64{10, 50, 100},
+		func(x float64) (int, int, float64) { return 16, PaperRowLen, x }, opt)
+}
+
+// Fig15c reproduces "Utility under different input lengths" (batch row
+// length L ∈ {100, 200, 300}).
+func Fig15c(opt Options) (*Figure, error) {
+	return schedulerSweep("fig15c", "Utility under different batch row lengths (batch size 16)",
+		"row-length", []float64{100, 200, 300},
+		func(x float64) (int, int, float64) { return 16, int(x), 20 }, opt)
+}

@@ -1,0 +1,152 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6.2) plus the ablations DESIGN.md calls out. Each runner
+// returns a Figure — named series over a shared x-axis — that renders as a
+// text table; cmd/tcb-bench prints them all and EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is a reproduced evaluation figure: one row per x value, one column
+// per series.
+type Figure struct {
+	ID     string // e.g. "fig09"
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	Notes  []string
+}
+
+// AddPoint appends y to the named series, creating it on first use.
+// Callers must append points in x order, one per series per x.
+func (f *Figure) AddPoint(series string, y float64) {
+	for i := range f.Series {
+		if f.Series[i].Name == series {
+			f.Series[i].Y = append(f.Series[i].Y, y)
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Name: series, Y: []float64{y}})
+}
+
+// Get returns the y value of the named series at index i.
+func (f *Figure) Get(series string, i int) (float64, error) {
+	for _, s := range f.Series {
+		if s.Name == series {
+			if i < 0 || i >= len(s.Y) {
+				return 0, fmt.Errorf("experiments: %s[%d] out of range %d", series, i, len(s.Y))
+			}
+			return s.Y[i], nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: no series %q in %s", series, f.ID)
+}
+
+// Validate checks that every series has one point per x value.
+func (f *Figure) Validate() error {
+	for _, s := range f.Series {
+		if len(s.Y) != len(f.X) {
+			return fmt.Errorf("experiments: %s series %q has %d points, %d x values",
+				f.ID, s.Name, len(s.Y), len(f.X))
+		}
+	}
+	return nil
+}
+
+// Render writes the figure as an aligned text table.
+func (f *Figure) Render(w io.Writer) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	widths := make([]int, len(header))
+	rows := [][]string{header}
+	for i, x := range f.X {
+		row := []string{formatNum(x)}
+		for _, s := range f.Series {
+			row = append(row, formatNum(s.Y[i]))
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for c, cell := range row {
+			fmt.Fprintf(w, "%-*s", widths[c]+2, cell)
+		}
+		fmt.Fprintln(w)
+		if ri == 0 {
+			total := 0
+			for _, wd := range widths {
+				total += wd + 2
+			}
+			fmt.Fprintln(w, strings.Repeat("-", total))
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func formatNum(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e7 && v > -1e7:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// WriteCSV emits the figure as RFC-4180 CSV: a header of x-label and series
+// names, then one row per x value.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, x := range f.X {
+		row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+		for _, s := range f.Series {
+			row = append(row, strconv.FormatFloat(s.Y[i], 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

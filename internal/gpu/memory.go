@@ -1,0 +1,73 @@
+// Package gpu simulates the device the paper runs on: a memory pool with
+// tensor-granularity allocation and an accounting of when data can be
+// freed. Its purpose is to reproduce §4.2.2's early-memory-cleaning
+// behaviour: under pure ConcatBatching request data inside a row cannot be
+// separated into tensors, so nothing frees until the whole batch finishes;
+// under slotted ConcatBatching each slot is an independent tensor that
+// frees as soon as its requests finish decoding, letting the next batch's
+// loading overlap the current batch's tail.
+package gpu
+
+import "fmt"
+
+// MemoryManager tracks simulated device-memory allocations in bytes.
+type MemoryManager struct {
+	capacity int64
+	used     int64
+	peak     int64
+	allocs   map[string]int64
+}
+
+// NewMemoryManager returns a manager with the given capacity in bytes.
+// capacity <= 0 means unlimited.
+func NewMemoryManager(capacity int64) *MemoryManager {
+	return &MemoryManager{capacity: capacity, allocs: make(map[string]int64)}
+}
+
+// Alloc reserves bytes under the given tag. It fails on duplicate tags,
+// non-positive sizes, or capacity exhaustion.
+func (m *MemoryManager) Alloc(tag string, bytes int64) error {
+	if bytes <= 0 {
+		return fmt.Errorf("gpu: alloc %q of %d bytes", tag, bytes)
+	}
+	if _, ok := m.allocs[tag]; ok {
+		return fmt.Errorf("gpu: tag %q already allocated", tag)
+	}
+	if m.capacity > 0 && m.used+bytes > m.capacity {
+		return fmt.Errorf("gpu: out of memory: %d used + %d requested > %d capacity",
+			m.used, bytes, m.capacity)
+	}
+	m.allocs[tag] = bytes
+	m.used += bytes
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+	return nil
+}
+
+// Free releases the allocation under tag. Freeing an unknown tag is an
+// error (double-free detection).
+func (m *MemoryManager) Free(tag string) error {
+	bytes, ok := m.allocs[tag]
+	if !ok {
+		return fmt.Errorf("gpu: free of unknown tag %q", tag)
+	}
+	delete(m.allocs, tag)
+	m.used -= bytes
+	return nil
+}
+
+// Used returns the bytes currently allocated.
+func (m *MemoryManager) Used() int64 { return m.used }
+
+// Peak returns the high-water mark of Used since construction (or ResetPeak).
+func (m *MemoryManager) Peak() int64 { return m.peak }
+
+// Capacity returns the configured capacity (0 = unlimited).
+func (m *MemoryManager) Capacity() int64 { return m.capacity }
+
+// Outstanding returns the number of live allocations.
+func (m *MemoryManager) Outstanding() int { return len(m.allocs) }
+
+// ResetPeak sets the high-water mark to the current usage.
+func (m *MemoryManager) ResetPeak() { m.peak = m.used }

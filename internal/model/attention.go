@@ -1,0 +1,150 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"tcb/internal/tensor"
+)
+
+// colSlice copies columns [c0, c1) of m into a new matrix.
+func colSlice(m *tensor.Matrix, c0, c1 int) *tensor.Matrix {
+	out := tensor.New(m.Rows, c1-c0)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[c0:c1])
+	}
+	return out
+}
+
+// writeCols copies src into columns [c0, c0+src.Cols) of dst.
+func writeCols(dst, src *tensor.Matrix, c0 int) {
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Row(i)[c0:c0+src.Cols], src.Row(i))
+	}
+}
+
+// subMask copies mask rows [r0,r1) × cols [c0,c1) into a new matrix.
+func subMask(mask *tensor.Matrix, r0, r1, c0, c1 int) *tensor.Matrix {
+	out := tensor.New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out.Row(i-r0), mask.Row(i)[c0:c1])
+	}
+	return out
+}
+
+// attentionHead computes softmax(q·kᵀ·scale + mask)·v for a single head.
+// mask may be nil (unmasked attention, Eq. 4).
+func attentionHead(q, k, v *tensor.Matrix, mask *tensor.Matrix, scale float32) *tensor.Matrix {
+	scores := tensor.MatMulT(q, k)
+	tensor.Scale(scores, scale)
+	if mask != nil {
+		if mask.Rows != scores.Rows || mask.Cols != scores.Cols {
+			panic(fmt.Sprintf("model: mask %dx%d vs scores %dx%d",
+				mask.Rows, mask.Cols, scores.Rows, scores.Cols))
+		}
+		tensor.AddInPlace(scores, mask)
+	}
+	tensor.SoftmaxRows(scores)
+	return tensor.MatMul(scores, v)
+}
+
+// MultiHeadAttention runs multi-head attention with queries from xq and
+// keys/values from xkv, applying the optional additive mask to every head's
+// score matrix (Eq. 5: Att_CB when mask is a block-diagonal RowLayout mask,
+// plain Eq. 4 when mask is nil). It returns the WO-projected result.
+func MultiHeadAttention(w *AttentionWeights, numHeads int, xq, xkv *tensor.Matrix, mask *tensor.Matrix) *tensor.Matrix {
+	dModel := w.WQ.W.Cols
+	if dModel%numHeads != 0 {
+		panic("model: heads must divide dModel")
+	}
+	dh := dModel / numHeads
+	q := w.WQ.Apply(xq)
+	k := w.WK.Apply(xkv)
+	v := w.WV.Apply(xkv)
+	concat := tensor.New(xq.Rows, dModel)
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	var wg sync.WaitGroup
+	for h := 0; h < numHeads; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			c0 := h * dh
+			qh := colSlice(q, c0, c0+dh)
+			kh := colSlice(k, c0, c0+dh)
+			vh := colSlice(v, c0, c0+dh)
+			out := attentionHead(qh, kh, vh, mask, scale)
+			writeCols(concat, out, c0)
+		}(h)
+	}
+	wg.Wait()
+	return w.WO.Apply(concat)
+}
+
+// MultiHeadAttentionSlotted runs the slotted self-attention Att_CB_S
+// (Eq. 8): attention is computed independently per slot, so the score
+// matrices are slot-local (Σ zᵢ² entries instead of n², Fig. 7) and the
+// off-slot redundancy the mask merely neutralized is never computed.
+//
+// mask is the full-row additive mask (block-diagonal, causal, or any other
+// structure); each slot uses its own sub-block, so results are numerically
+// identical to MultiHeadAttention with the same mask as long as the mask
+// never lets attention cross slot boundaries. Rows outside every slot
+// (padding) produce zero output.
+func MultiHeadAttentionSlotted(w *AttentionWeights, numHeads int, x *tensor.Matrix, slots []Slot, mask *tensor.Matrix) *tensor.Matrix {
+	dModel := w.WQ.W.Cols
+	if dModel%numHeads != 0 {
+		panic("model: heads must divide dModel")
+	}
+	dh := dModel / numHeads
+	q := w.WQ.Apply(x)
+	k := w.WK.Apply(x)
+	v := w.WV.Apply(x)
+	concat := tensor.New(x.Rows, dModel)
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	type job struct {
+		head int
+		slot Slot
+	}
+	jobs := make([]job, 0, numHeads*len(slots))
+	for h := 0; h < numHeads; h++ {
+		for _, s := range slots {
+			jobs = append(jobs, job{h, s})
+		}
+	}
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			c0 := j.head * dh
+			r0, r1 := j.slot.Start, j.slot.Start+j.slot.Len
+			qs := subMask(q, r0, r1, c0, c0+dh)
+			ks := subMask(k, r0, r1, c0, c0+dh)
+			vs := subMask(v, r0, r1, c0, c0+dh)
+			var m *tensor.Matrix
+			if mask != nil {
+				m = subMask(mask, r0, r1, r0, r1)
+			}
+			out := attentionHead(qs, ks, vs, m, scale)
+			for i := 0; i < out.Rows; i++ {
+				copy(concat.Row(r0+i)[c0:c0+dh], out.Row(i))
+			}
+		}(j)
+	}
+	wg.Wait()
+	return w.WO.Apply(concat)
+}
+
+// ScoreArea returns the number of attention-score entries a scheme computes
+// for one row: the quantity slotting reduces. Dense (pure ConcatBatching or
+// padding schemes) computes used² per row; slotted computes Σ slotLen².
+func ScoreArea(slots []Slot) int {
+	area := 0
+	for _, s := range slots {
+		area += s.Len * s.Len
+	}
+	return area
+}

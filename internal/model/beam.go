@@ -1,0 +1,173 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tcb/internal/tensor"
+	"tcb/internal/vocab"
+)
+
+// BeamResult is one segment's best hypothesis from beam search.
+type BeamResult struct {
+	Tokens  []int
+	LogProb float64 // sum of token log-probabilities (EOS included if emitted)
+	Steps   int
+}
+
+// beamHyp is one live hypothesis during search.
+type beamHyp struct {
+	tokens  []int
+	logProb float64
+	done    bool
+}
+
+// GenerateBeam decodes one segment with beam search of the given width
+// over the KV-cached incremental decoder. Each hypothesis owns its own
+// decode state (the cache is cheap at serving sizes); maxNew bounds the
+// hypothesis length. Width 1 degenerates to greedy decoding.
+//
+// Beam search runs per segment — the row's other segments do not affect a
+// segment's hypotheses (the same isolation ConcatBatching guarantees), so
+// serving a beam-searched request inside a concatenated batch is done by
+// extracting the segment's encoder rows and calling this.
+func (m *Model) GenerateBeam(encOut *tensor.Matrix, encLayout RowLayout, segment, width, maxNew int) (BeamResult, error) {
+	if width <= 0 {
+		return BeamResult{}, fmt.Errorf("model: beam width %d", width)
+	}
+	if segment < 0 || segment >= len(encLayout.Segments) {
+		return BeamResult{}, fmt.Errorf("model: segment %d of %d", segment, len(encLayout.Segments))
+	}
+	// Extract this segment's encoder output as a standalone layout so the
+	// per-hypothesis decode states are small and segment-isolated.
+	seg := encLayout.Segments[segment]
+	segEnc := encOut.Slice(seg.Start, seg.End())
+	segLayout := SingleSegment(seg.Len, seg.Len)
+
+	beams := []beamHyp{{}}
+	for step := 0; step < maxNew; step++ {
+		allDone := true
+		for _, b := range beams {
+			if !b.done {
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+		type cand struct {
+			beamHyp
+		}
+		var cands []cand
+		for _, b := range beams {
+			if b.done {
+				cands = append(cands, cand{b})
+				continue
+			}
+			// Re-decode the prefix with a fresh state. O(T²) per
+			// hypothesis overall, but hypotheses are short at serving
+			// sizes and the KV cache keeps each step O(T).
+			st := m.NewDecodeState(segEnc, segLayout)
+			next := vocab.BosID
+			var logits [][]float32
+			var err error
+			for _, tok := range append([]int{-1}, b.tokens...) {
+				if tok >= 0 {
+					next = tok
+				}
+				logits, err = st.Step([]int{next})
+				if err != nil {
+					return BeamResult{}, err
+				}
+			}
+			lp := logProbs(logits[0])
+			// Expand by the top `width` continuations.
+			type scored struct {
+				id int
+				lp float64
+			}
+			top := make([]scored, 0, len(lp))
+			for id, p := range lp {
+				top = append(top, scored{id, p})
+			}
+			sort.Slice(top, func(a, b int) bool { return top[a].lp > top[b].lp })
+			if len(top) > width {
+				top = top[:width]
+			}
+			for _, s := range top {
+				nb := beamHyp{
+					tokens:  append(append([]int{}, b.tokens...), s.id),
+					logProb: b.logProb + s.lp,
+				}
+				if s.id == vocab.EosID {
+					nb.tokens = nb.tokens[:len(nb.tokens)-1]
+					nb.done = true
+				}
+				cands = append(cands, cand{nb})
+			}
+		}
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].logProb > cands[b].logProb })
+		if len(cands) > width {
+			cands = cands[:width]
+		}
+		beams = beams[:0]
+		for _, c := range cands {
+			beams = append(beams, c.beamHyp)
+		}
+	}
+	best := beams[0]
+	for _, b := range beams[1:] {
+		if b.logProb > best.logProb {
+			best = b
+		}
+	}
+	steps := len(best.tokens)
+	if best.done {
+		steps++ // the EOS step
+	}
+	return BeamResult{Tokens: best.tokens, LogProb: best.logProb, Steps: steps}, nil
+}
+
+// logProbs converts logits to log-probabilities.
+func logProbs(logits []float32) []float64 {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if fv := float64(v); fv > maxv {
+			maxv = fv
+		}
+	}
+	var sum float64
+	for _, v := range logits {
+		sum += math.Exp(float64(v) - maxv)
+	}
+	logZ := math.Log(sum) + maxv
+	out := make([]float64, len(logits))
+	for i, v := range logits {
+		out[i] = float64(v) - logZ
+	}
+	return out
+}
+
+// SequenceLogProb scores a full candidate output under the model: the sum
+// of log p(tokenᵢ | prefix) with EOS appended. Used to verify that beam
+// search finds hypotheses at least as likely as greedy's.
+func (m *Model) SequenceLogProb(encOut *tensor.Matrix, encLayout RowLayout, segment int, tokens []int) (float64, error) {
+	seg := encLayout.Segments[segment]
+	segEnc := encOut.Slice(seg.Start, seg.End())
+	segLayout := SingleSegment(seg.Len, seg.Len)
+	st := m.NewDecodeState(segEnc, segLayout)
+	next := vocab.BosID
+	var total float64
+	seq := append(append([]int{}, tokens...), vocab.EosID)
+	for _, want := range seq {
+		logits, err := st.Step([]int{next})
+		if err != nil {
+			return 0, err
+		}
+		lp := logProbs(logits[0])
+		total += lp[want]
+		next = want
+	}
+	return total, nil
+}

@@ -1,0 +1,91 @@
+// Package model implements the Seq2Seq transformer used by the TCB inference
+// engine, including the two customizations §4.1 of the paper requires for
+// ConcatBatching to produce correct results:
+//
+//   - separate positional encoding: the sinusoidal position counter restarts
+//     at 0 for every request (segment) concatenated in a batch row
+//     (Fig. 5b), and
+//   - customized self-attention: a block-diagonal additive mask M (Eq. 6)
+//     removes inter-request score entries before softmax (Eq. 5), plus the
+//     slotted variant Att_CB_S (Eq. 8) that computes attention per slot and
+//     never materializes the off-diagonal redundancy at all (§4.2.1).
+//
+// Weights are randomly initialized: the paper's experiments measure serving
+// performance, not task accuracy, and every correctness claim here is an
+// *equivalence* claim (concatenated inference must equal per-request
+// inference), which random weights exercise fully.
+package model
+
+import "fmt"
+
+// Config describes a Seq2Seq transformer. The paper's evaluation model is
+// 3 encoder + 3 decoder layers, d_model = 3072, 8 heads, max 400 words
+// (§6.1); tests and laptop-scale experiments use smaller dims, and the cost
+// model scales results analytically to paper size.
+type Config struct {
+	VocabSize int // token vocabulary size, including reserved ids
+	DModel    int // embedding / hidden width
+	NumHeads  int // attention heads; must divide DModel
+	DFF       int // feed-forward inner width
+	EncLayers int // encoder stack depth
+	DecLayers int // decoder stack depth
+	MaxLen    int // maximum row length in tokens (paper: 400)
+	Eps       float32
+}
+
+// PaperConfig returns the evaluation configuration from §6.1. Running it on
+// CPU is slow; it exists so the cost model and docs reference the exact
+// published shape.
+func PaperConfig(vocabSize int) Config {
+	return Config{
+		VocabSize: vocabSize,
+		DModel:    3072,
+		NumHeads:  8,
+		DFF:       4 * 3072,
+		EncLayers: 3,
+		DecLayers: 3,
+		MaxLen:    400,
+		Eps:       1e-5,
+	}
+}
+
+// TestConfig returns a small configuration suitable for unit tests and
+// laptop-scale wall-clock experiments.
+func TestConfig(vocabSize int) Config {
+	return Config{
+		VocabSize: vocabSize,
+		DModel:    64,
+		NumHeads:  4,
+		DFF:       128,
+		EncLayers: 2,
+		DecLayers: 2,
+		MaxLen:    512,
+		Eps:       1e-5,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.VocabSize <= 0:
+		return fmt.Errorf("model: VocabSize %d must be positive", c.VocabSize)
+	case c.DModel <= 0:
+		return fmt.Errorf("model: DModel %d must be positive", c.DModel)
+	case c.NumHeads <= 0:
+		return fmt.Errorf("model: NumHeads %d must be positive", c.NumHeads)
+	case c.DModel%c.NumHeads != 0:
+		return fmt.Errorf("model: DModel %d not divisible by NumHeads %d", c.DModel, c.NumHeads)
+	case c.DFF <= 0:
+		return fmt.Errorf("model: DFF %d must be positive", c.DFF)
+	case c.EncLayers < 0 || c.DecLayers < 0:
+		return fmt.Errorf("model: negative layer count %d/%d", c.EncLayers, c.DecLayers)
+	case c.MaxLen <= 0:
+		return fmt.Errorf("model: MaxLen %d must be positive", c.MaxLen)
+	case c.Eps <= 0:
+		return fmt.Errorf("model: Eps %g must be positive", c.Eps)
+	}
+	return nil
+}
+
+// HeadDim returns DModel / NumHeads.
+func (c Config) HeadDim() int { return c.DModel / c.NumHeads }

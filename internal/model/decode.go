@@ -1,0 +1,307 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"tcb/internal/tensor"
+	"tcb/internal/vocab"
+)
+
+// DecodeState is the KV-cached incremental decoder for one (possibly
+// concatenated) row: instead of re-running the decoder stack over the full
+// prefix at every step (O(T²) token passes, what GenerateRow does), it
+// caches each layer's self-attention keys/values per segment and the
+// cross-attention keys/values once, advancing every live segment by one
+// token per Step.
+//
+// Correctness relies on the same isolation ConcatBatching establishes for
+// the batch case: a segment's cached keys/values are exactly the rows the
+// block-diagonal mask would have exposed, so cached decoding produces the
+// same tokens as mask-based decoding (tested to exact token equality).
+type DecodeState struct {
+	m         *Model
+	encLayout RowLayout
+	nSeg      int
+
+	// Per decoder layer caches.
+	layers []*layerCache
+
+	prefixLen []int  // tokens decoded so far per segment (BOS included)
+	finished  []bool // segment has emitted EOS or hit its cap
+}
+
+// layerCache holds one decoder layer's attention caches.
+type layerCache struct {
+	// selfK[i] / selfV[i]: cached projected key/value rows (d wide) of
+	// segment i, one per decoded position.
+	selfK, selfV [][][]float32
+	// crossK[i] / crossV[i]: fixed projected encoder keys/values of
+	// segment i.
+	crossK, crossV []*tensor.Matrix
+}
+
+// NewDecodeState precomputes the cross-attention caches from the encoder
+// output and returns a state ready for Step.
+func (m *Model) NewDecodeState(encOut *tensor.Matrix, encLayout RowLayout) *DecodeState {
+	nSeg := len(encLayout.Segments)
+	s := &DecodeState{
+		m:         m,
+		encLayout: encLayout,
+		nSeg:      nSeg,
+		prefixLen: make([]int, nSeg),
+		finished:  make([]bool, nSeg),
+	}
+	for range m.P.Decoder {
+		s.layers = append(s.layers, &layerCache{
+			selfK:  make([][][]float32, nSeg),
+			selfV:  make([][][]float32, nSeg),
+			crossK: make([]*tensor.Matrix, nSeg),
+			crossV: make([]*tensor.Matrix, nSeg),
+		})
+	}
+	for li, layer := range m.P.Decoder {
+		k := layer.CrossAttn.WK.Apply(encOut)
+		v := layer.CrossAttn.WV.Apply(encOut)
+		for i, seg := range encLayout.Segments {
+			s.layers[li].crossK[i] = k.Slice(seg.Start, seg.End())
+			s.layers[li].crossV[i] = v.Slice(seg.Start, seg.End())
+		}
+	}
+	return s
+}
+
+// Finished reports whether segment i has stopped decoding.
+func (s *DecodeState) Finished(i int) bool { return s.finished[i] }
+
+// MarkFinished stops segment i (cap reached or EOS seen by the caller).
+func (s *DecodeState) MarkFinished(i int) { s.finished[i] = true }
+
+// AllFinished reports whether every segment has stopped.
+func (s *DecodeState) AllFinished() bool {
+	for _, f := range s.finished {
+		if !f {
+			return false
+		}
+	}
+	return true
+}
+
+// Step feeds one token per segment (tokens[i] is ignored for finished
+// segments) and returns the vocabulary logits for each live segment
+// (nil rows for finished ones). The first call must pass vocab.BosID for
+// every segment.
+func (s *DecodeState) Step(tokens []int) ([][]float32, error) {
+	if len(tokens) != s.nSeg {
+		return nil, fmt.Errorf("model: Step got %d tokens for %d segments", len(tokens), s.nSeg)
+	}
+	// Gather the live segments.
+	var live []int
+	for i := 0; i < s.nSeg; i++ {
+		if !s.finished[i] {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return make([][]float32, s.nSeg), nil
+	}
+	// Embed the new token of every live segment at its own position —
+	// separate positional encoding, per segment, by construction.
+	d := s.m.Cfg.DModel
+	x := tensor.New(len(live), d)
+	for r, i := range live {
+		id := tokens[i]
+		if id < 0 || id >= s.m.Cfg.VocabSize {
+			return nil, fmt.Errorf("model: token %d out of vocabulary", id)
+		}
+		copy(x.Row(r), s.m.P.Embedding.Row(id))
+		pos := s.prefixLen[i]
+		if pos >= s.m.P.PosEnc.Rows {
+			return nil, fmt.Errorf("model: segment %d position %d beyond MaxLen", i, pos)
+		}
+		peRow := s.m.P.PosEnc.Row(pos)
+		row := x.Row(r)
+		for j := range row {
+			row[j] += peRow[j]
+		}
+		s.prefixLen[i]++
+	}
+
+	heads := s.m.Cfg.NumHeads
+	dh := s.m.Cfg.HeadDim()
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	for li, layer := range s.m.P.Decoder {
+		cache := s.layers[li]
+		// Self-attention with per-segment KV cache (causal by
+		// construction: the cache only holds the past).
+		q := layer.SelfAttn.WQ.Apply(x)
+		k := layer.SelfAttn.WK.Apply(x)
+		v := layer.SelfAttn.WV.Apply(x)
+		attn := tensor.New(len(live), d)
+		for r, i := range live {
+			kRow := append([]float32(nil), k.Row(r)...)
+			vRow := append([]float32(nil), v.Row(r)...)
+			cache.selfK[i] = append(cache.selfK[i], kRow)
+			cache.selfV[i] = append(cache.selfV[i], vRow)
+			attendCached(attn.Row(r), q.Row(r), cache.selfK[i], cache.selfV[i], heads, dh, scale)
+		}
+		proj := layer.SelfAttn.WO.Apply(attn)
+		tensor.AddInPlace(x, proj)
+		layer.Norm1.Apply(x)
+
+		// Cross-attention against the fixed encoder cache of the own
+		// segment only.
+		q = layer.CrossAttn.WQ.Apply(x)
+		attn = tensor.New(len(live), d)
+		for r, i := range live {
+			attendMatrix(attn.Row(r), q.Row(r), cache.crossK[i], cache.crossV[i], heads, dh, scale)
+		}
+		proj = layer.CrossAttn.WO.Apply(attn)
+		tensor.AddInPlace(x, proj)
+		layer.Norm2.Apply(x)
+
+		ff := layer.FFN.Apply(x)
+		tensor.AddInPlace(x, ff)
+		layer.Norm3.Apply(x)
+	}
+
+	logits := s.m.P.OutProj.Apply(x)
+	out := make([][]float32, s.nSeg)
+	for r, i := range live {
+		out[i] = append([]float32(nil), logits.Row(r)...)
+	}
+	return out, nil
+}
+
+// attendCached computes multi-head attention of a single query row over
+// cached key/value rows, writing the concatenated head outputs to dst.
+func attendCached(dst, q []float32, keys, vals [][]float32, heads, dh int, scale float32) {
+	n := len(keys)
+	scores := make([]float32, n)
+	for h := 0; h < heads; h++ {
+		c0 := h * dh
+		// Scores for this head.
+		maxv := float32(math.Inf(-1))
+		for t := 0; t < n; t++ {
+			var sum float32
+			kRow := keys[t]
+			for j := 0; j < dh; j++ {
+				sum += q[c0+j] * kRow[c0+j]
+			}
+			sum *= scale
+			scores[t] = sum
+			if sum > maxv {
+				maxv = sum
+			}
+		}
+		var norm float32
+		for t := 0; t < n; t++ {
+			e := float32(math.Exp(float64(scores[t] - maxv)))
+			scores[t] = e
+			norm += e
+		}
+		inv := 1 / norm
+		for j := 0; j < dh; j++ {
+			dst[c0+j] = 0
+		}
+		for t := 0; t < n; t++ {
+			a := scores[t] * inv
+			vRow := vals[t]
+			for j := 0; j < dh; j++ {
+				dst[c0+j] += a * vRow[c0+j]
+			}
+		}
+	}
+}
+
+// attendMatrix is attendCached over matrix-backed keys/values.
+func attendMatrix(dst, q []float32, keys, vals *tensor.Matrix, heads, dh int, scale float32) {
+	n := keys.Rows
+	scores := make([]float32, n)
+	for h := 0; h < heads; h++ {
+		c0 := h * dh
+		maxv := float32(math.Inf(-1))
+		for t := 0; t < n; t++ {
+			var sum float32
+			kRow := keys.Row(t)
+			for j := 0; j < dh; j++ {
+				sum += q[c0+j] * kRow[c0+j]
+			}
+			sum *= scale
+			scores[t] = sum
+			if sum > maxv {
+				maxv = sum
+			}
+		}
+		var norm float32
+		for t := 0; t < n; t++ {
+			e := float32(math.Exp(float64(scores[t] - maxv)))
+			scores[t] = e
+			norm += e
+		}
+		inv := 1 / norm
+		for j := 0; j < dh; j++ {
+			dst[c0+j] = 0
+		}
+		for t := 0; t < n; t++ {
+			a := scores[t] * inv
+			vRow := vals.Row(t)
+			for j := 0; j < dh; j++ {
+				dst[c0+j] += a * vRow[c0+j]
+			}
+		}
+	}
+}
+
+// GenerateRowCached mirrors GenerateRowCapped using the KV-cached
+// incremental decoder: same greedy decoding, same outputs, O(T) token
+// passes per segment instead of O(T²).
+func (m *Model) GenerateRowCached(encOut *tensor.Matrix, encLayout RowLayout, caps []int) ([]GenerateResult, error) {
+	nSeg := len(encLayout.Segments)
+	if len(caps) != nSeg {
+		return nil, fmt.Errorf("model: %d caps for %d segments", len(caps), nSeg)
+	}
+	st := m.NewDecodeState(encOut, encLayout)
+	results := make([]GenerateResult, nSeg)
+	next := make([]int, nSeg)
+	for i := range next {
+		next[i] = vocab.BosID
+		if caps[i] <= 0 {
+			st.MarkFinished(i)
+		}
+	}
+	maxNew := 0
+	for _, c := range caps {
+		if c > maxNew {
+			maxNew = c
+		}
+	}
+	for step := 0; step < maxNew && !st.AllFinished(); step++ {
+		logits, err := st.Step(next)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < nSeg; i++ {
+			if st.Finished(i) || logits[i] == nil {
+				continue
+			}
+			best, bestj := float32(math.Inf(-1)), 0
+			for j, v := range logits[i] {
+				if v > best {
+					best, bestj = v, j
+				}
+			}
+			results[i].Steps = step + 1
+			if bestj == vocab.EosID {
+				st.MarkFinished(i)
+				continue
+			}
+			results[i].Tokens = append(results[i].Tokens, bestj)
+			next[i] = bestj
+			if len(results[i].Tokens) >= caps[i] {
+				st.MarkFinished(i)
+			}
+		}
+	}
+	return results, nil
+}

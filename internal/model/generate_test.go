@@ -1,0 +1,95 @@
+package model
+
+import (
+	"testing"
+
+	"tcb/internal/rng"
+)
+
+func TestGenerateRowCappedPerSegment(t *testing.T) {
+	m := testModel(t)
+	src := rng.New(31)
+	requests := [][]int{randTokens(src, 4), randTokens(src, 6), randTokens(src, 3)}
+	row, layout := buildConcatRow(requests, 13)
+	encOut := m.EncodeRow(row, layout, nil, AttDense, true)
+	caps := []int{1, 4, 2}
+	res := m.GenerateRowCapped(encOut, layout, nil, caps, AttDense)
+	for i, r := range res {
+		if len(r.Tokens) > caps[i] {
+			t.Fatalf("segment %d generated %d tokens, cap %d", i, len(r.Tokens), caps[i])
+		}
+	}
+	// With random weights EOS is rare, so caps bind: finish steps differ.
+	if res[0].Steps >= res[1].Steps {
+		t.Fatalf("capped segment should finish earlier: steps %d vs %d",
+			res[0].Steps, res[1].Steps)
+	}
+}
+
+func TestGenerateRowCappedZeroCap(t *testing.T) {
+	m := testModel(t)
+	src := rng.New(32)
+	req := randTokens(src, 5)
+	layout := SingleSegment(5, 5)
+	encOut := m.EncodeRow(req, layout, nil, AttDense, true)
+	res := m.GenerateRowCapped(encOut, layout, nil, []int{0}, AttDense)
+	if len(res[0].Tokens) != 0 || res[0].Steps != 0 {
+		t.Fatalf("zero cap must not generate: %+v", res[0])
+	}
+}
+
+func TestGenerateRowCappedMatchesUncappedPrefix(t *testing.T) {
+	// A capped run must produce a prefix of the uncapped run's tokens:
+	// caps change when decoding stops, never what is decoded.
+	m := testModel(t)
+	src := rng.New(33)
+	req := randTokens(src, 6)
+	layout := SingleSegment(6, 6)
+	encOut := m.EncodeRow(req, layout, nil, AttDense, true)
+	full := m.GenerateRow(encOut, layout, nil, 6, AttDense)
+	capped := m.GenerateRowCapped(encOut, layout, nil, []int{3}, AttDense)
+	if len(capped[0].Tokens) > 3 {
+		t.Fatalf("cap ignored: %v", capped[0].Tokens)
+	}
+	for i, tok := range capped[0].Tokens {
+		if tok != full[0].Tokens[i] {
+			t.Fatalf("capped token %d differs from uncapped prefix", i)
+		}
+	}
+}
+
+func TestGenerateRowCappedBadLengthPanics(t *testing.T) {
+	m := testModel(t)
+	src := rng.New(34)
+	req := randTokens(src, 4)
+	layout := SingleSegment(4, 4)
+	encOut := m.EncodeRow(req, layout, nil, AttDense, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on caps/segment mismatch")
+		}
+	}()
+	m.GenerateRowCapped(encOut, layout, nil, []int{1, 2}, AttDense)
+}
+
+// One capped segment finishing early must not change what the others
+// decode: finished segments keep their prefix in the decoder input, so the
+// block-diagonal isolation already guarantees this — verify it.
+func TestCapDoesNotPerturbNeighbors(t *testing.T) {
+	m := testModel(t)
+	src := rng.New(35)
+	requests := [][]int{randTokens(src, 5), randTokens(src, 5)}
+	row, layout := buildConcatRow(requests, 10)
+	encOut := m.EncodeRow(row, layout, nil, AttDense, true)
+	uniform := m.GenerateRowCapped(encOut, layout, nil, []int{4, 4}, AttDense)
+	skewed := m.GenerateRowCapped(encOut, layout, nil, []int{1, 4}, AttDense)
+	if len(skewed[1].Tokens) != len(uniform[1].Tokens) {
+		t.Fatalf("neighbor output length changed: %d vs %d",
+			len(skewed[1].Tokens), len(uniform[1].Tokens))
+	}
+	for i := range skewed[1].Tokens {
+		if skewed[1].Tokens[i] != uniform[1].Tokens[i] {
+			t.Fatalf("neighbor token %d changed when the other segment was capped", i)
+		}
+	}
+}

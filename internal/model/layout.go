@@ -1,0 +1,204 @@
+package model
+
+import (
+	"fmt"
+
+	"tcb/internal/tensor"
+)
+
+// Segment is one request's span inside a concatenated batch row.
+type Segment struct {
+	Start int // first token offset within the row
+	Len   int // number of tokens
+}
+
+// End returns the exclusive end offset of the segment.
+func (s Segment) End() int { return s.Start + s.Len }
+
+// RowLayout describes how requests are concatenated in one batch row:
+// a list of contiguous, non-overlapping segments followed (optionally) by
+// padding up to the row capacity.
+type RowLayout struct {
+	Segments []Segment
+	Total    int // row length in tokens, padding included
+}
+
+// SingleSegment returns the layout of a traditional (non-concatenated) row:
+// one request of length n padded to total.
+func SingleSegment(n, total int) RowLayout {
+	return RowLayout{Segments: []Segment{{Start: 0, Len: n}}, Total: total}
+}
+
+// ConcatLayout lays out requests of the given lengths back to back and pads
+// the remainder up to total. It panics if the lengths overflow total.
+func ConcatLayout(lengths []int, total int) RowLayout {
+	layout := RowLayout{Total: total}
+	off := 0
+	for _, l := range lengths {
+		if l <= 0 {
+			panic(fmt.Sprintf("model: non-positive segment length %d", l))
+		}
+		layout.Segments = append(layout.Segments, Segment{Start: off, Len: l})
+		off += l
+	}
+	if off > total {
+		panic(fmt.Sprintf("model: segments total %d exceed row capacity %d", off, total))
+	}
+	return layout
+}
+
+// Used returns the number of non-padding tokens in the row.
+func (r RowLayout) Used() int {
+	n := 0
+	for _, s := range r.Segments {
+		n += s.Len
+	}
+	return n
+}
+
+// PaddedTokens returns the number of padding tokens in the row.
+func (r RowLayout) PaddedTokens() int { return r.Total - r.Used() }
+
+// Validate checks that segments are contiguous from offset 0, non-empty and
+// fit within Total. The TCB engine requires this canonical form.
+func (r RowLayout) Validate() error {
+	off := 0
+	for i, s := range r.Segments {
+		if s.Len <= 0 {
+			return fmt.Errorf("model: segment %d has length %d", i, s.Len)
+		}
+		if s.Start != off {
+			return fmt.Errorf("model: segment %d starts at %d, want %d", i, s.Start, off)
+		}
+		off = s.End()
+	}
+	if off > r.Total {
+		return fmt.Errorf("model: segments use %d tokens, row capacity %d", off, r.Total)
+	}
+	return nil
+}
+
+// SegmentOf returns the index of the segment containing token offset pos,
+// or -1 if pos falls in padding.
+func (r RowLayout) SegmentOf(pos int) int {
+	for i, s := range r.Segments {
+		if pos >= s.Start && pos < s.End() {
+			return i
+		}
+	}
+	return -1
+}
+
+// BuildMask materializes the paper's mask matrix M (Eq. 6) for this row:
+// a Total×Total additive mask that is 0 on each Q_i·K_iᵀ diagonal block and
+// −∞ (tensor.NegInf) everywhere else, padding included.
+func (r RowLayout) BuildMask() *tensor.Matrix {
+	m := tensor.New(r.Total, r.Total)
+	m.Fill(tensor.NegInf)
+	for _, s := range r.Segments {
+		for i := s.Start; i < s.End(); i++ {
+			row := m.Row(i)
+			for j := s.Start; j < s.End(); j++ {
+				row[j] = 0
+			}
+		}
+	}
+	return m
+}
+
+// BuildCausalMask is BuildMask restricted additionally to causal order:
+// token i may attend to token j only if they share a segment and j ≤ i.
+// The decoder's self-attention uses this.
+func (r RowLayout) BuildCausalMask() *tensor.Matrix {
+	m := tensor.New(r.Total, r.Total)
+	m.Fill(tensor.NegInf)
+	for _, s := range r.Segments {
+		for i := s.Start; i < s.End(); i++ {
+			row := m.Row(i)
+			for j := s.Start; j <= i; j++ {
+				row[j] = 0
+			}
+		}
+	}
+	return m
+}
+
+// BuildCrossMask returns the additive mask for decoder→encoder cross
+// attention: decoder token in segment i (layout r) may attend only to
+// encoder tokens of segment i (layout enc). The two layouts must have the
+// same number of segments.
+func (r RowLayout) BuildCrossMask(enc RowLayout) *tensor.Matrix {
+	if len(r.Segments) != len(enc.Segments) {
+		panic(fmt.Sprintf("model: cross mask with %d decoder vs %d encoder segments",
+			len(r.Segments), len(enc.Segments)))
+	}
+	m := tensor.New(r.Total, enc.Total)
+	m.Fill(tensor.NegInf)
+	for si, s := range r.Segments {
+		es := enc.Segments[si]
+		for i := s.Start; i < s.End(); i++ {
+			row := m.Row(i)
+			for j := es.Start; j < es.End(); j++ {
+				row[j] = 0
+			}
+		}
+	}
+	return m
+}
+
+// Slot groups one or more whole segments for slotted ConcatBatching (§4.2).
+// A slot spans token offsets [Start, Start+Len) of the row.
+type Slot struct {
+	Start int
+	Len   int
+	// SegIdx lists the indices (into RowLayout.Segments) of the segments
+	// the slot contains.
+	SegIdx []int
+}
+
+// SlotsOfSize partitions the row into slots of at most size tokens, never
+// splitting a segment across slots. It returns an error if any segment is
+// longer than size (such requests cannot be served at this slot size —
+// exactly the constraint §4.2.1 discusses).
+func (r RowLayout) SlotsOfSize(size int) ([]Slot, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("model: slot size %d must be positive", size)
+	}
+	var slots []Slot
+	cur := Slot{}
+	flush := func() {
+		if len(cur.SegIdx) > 0 {
+			slots = append(slots, cur)
+		}
+	}
+	for i, s := range r.Segments {
+		if s.Len > size {
+			return nil, fmt.Errorf("model: segment %d length %d exceeds slot size %d", i, s.Len, size)
+		}
+		if len(cur.SegIdx) > 0 && (s.End()-cur.Start) > size {
+			flush()
+			cur = Slot{}
+		}
+		if len(cur.SegIdx) == 0 {
+			cur.Start = s.Start
+		}
+		cur.SegIdx = append(cur.SegIdx, i)
+		cur.Len = s.End() - cur.Start
+	}
+	flush()
+	return slots, nil
+}
+
+// WholeRowSlot returns the single slot covering every segment — pure
+// ConcatBatching is the slotted scheme with one slot (§5.3).
+func (r RowLayout) WholeRowSlot() []Slot {
+	idx := make([]int, len(r.Segments))
+	for i := range idx {
+		idx[i] = i
+	}
+	used := r.Used()
+	if used == 0 {
+		return nil
+	}
+	return []Slot{{Start: 0, Len: used, SegIdx: idx}}
+}

@@ -1,0 +1,164 @@
+package model
+
+import (
+	"math"
+
+	"tcb/internal/rng"
+	"tcb/internal/tensor"
+)
+
+// Linear is a dense affine layer Y = X·W + b.
+type Linear struct {
+	W *tensor.Matrix // in × out
+	B []float32      // out
+}
+
+// NewLinear returns a Linear with Xavier-uniform weights drawn from src.
+func NewLinear(src *rng.Source, in, out int) *Linear {
+	l := &Linear{W: tensor.New(in, out), B: make([]float32, out)}
+	bound := float32(math.Sqrt(6 / float64(in+out)))
+	for i := range l.W.Data {
+		l.W.Data[i] = (float32(src.Float64())*2 - 1) * bound
+	}
+	return l
+}
+
+// Apply returns x·W + b.
+func (l *Linear) Apply(x *tensor.Matrix) *tensor.Matrix {
+	y := tensor.MatMul(x, l.W)
+	tensor.AddRowVector(y, l.B)
+	return y
+}
+
+// LayerNorm holds per-feature gain and bias for row normalization.
+type LayerNorm struct {
+	Gain, Bias []float32
+	Eps        float32
+}
+
+// NewLayerNorm returns an identity-initialized LayerNorm over dim features.
+func NewLayerNorm(dim int, eps float32) *LayerNorm {
+	ln := &LayerNorm{Gain: make([]float32, dim), Bias: make([]float32, dim), Eps: eps}
+	for i := range ln.Gain {
+		ln.Gain[i] = 1
+	}
+	return ln
+}
+
+// Apply normalizes x in place.
+func (ln *LayerNorm) Apply(x *tensor.Matrix) {
+	tensor.LayerNormRows(x, ln.Gain, ln.Bias, ln.Eps)
+}
+
+// AttentionWeights holds the Q/K/V/output projections of one
+// multi-head attention block (Eq. 3 plus the output projection).
+type AttentionWeights struct {
+	WQ, WK, WV, WO *Linear
+}
+
+// NewAttentionWeights initializes the four projections from src.
+func NewAttentionWeights(src *rng.Source, dModel int) *AttentionWeights {
+	return &AttentionWeights{
+		WQ: NewLinear(src, dModel, dModel),
+		WK: NewLinear(src, dModel, dModel),
+		WV: NewLinear(src, dModel, dModel),
+		WO: NewLinear(src, dModel, dModel),
+	}
+}
+
+// FFNWeights holds the two-layer feed-forward block following attention.
+type FFNWeights struct {
+	In, Out *Linear
+}
+
+// NewFFNWeights initializes the feed-forward block from src.
+func NewFFNWeights(src *rng.Source, dModel, dFF int) *FFNWeights {
+	return &FFNWeights{
+		In:  NewLinear(src, dModel, dFF),
+		Out: NewLinear(src, dFF, dModel),
+	}
+}
+
+// Apply runs the position-wise FFN: ReLU(x·W1 + b1)·W2 + b2.
+func (f *FFNWeights) Apply(x *tensor.Matrix) *tensor.Matrix {
+	h := f.In.Apply(x)
+	tensor.ReLU(h)
+	return f.Out.Apply(h)
+}
+
+// EncoderLayerWeights bundles one encoder layer: self-attention + FFN with
+// post-norm residual connections.
+type EncoderLayerWeights struct {
+	SelfAttn *AttentionWeights
+	FFN      *FFNWeights
+	Norm1    *LayerNorm
+	Norm2    *LayerNorm
+}
+
+// DecoderLayerWeights bundles one decoder layer: masked self-attention,
+// cross-attention to the encoder output, and FFN.
+type DecoderLayerWeights struct {
+	SelfAttn  *AttentionWeights
+	CrossAttn *AttentionWeights
+	FFN       *FFNWeights
+	Norm1     *LayerNorm
+	Norm2     *LayerNorm
+	Norm3     *LayerNorm
+}
+
+// Params holds every weight of the Seq2Seq model.
+type Params struct {
+	Embedding *tensor.Matrix // VocabSize × DModel token embedding table
+	PosEnc    *tensor.Matrix // MaxLen × DModel sinusoidal table
+	Encoder   []*EncoderLayerWeights
+	Decoder   []*DecoderLayerWeights
+	OutProj   *Linear // DModel × VocabSize final projection
+}
+
+// NewParams initializes all weights deterministically from seed.
+func NewParams(cfg Config, seed uint64) *Params {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	src := rng.New(seed)
+	p := &Params{
+		Embedding: tensor.New(cfg.VocabSize, cfg.DModel),
+		PosEnc:    PositionalEncoding(cfg.MaxLen, cfg.DModel),
+		OutProj:   nil,
+	}
+	scale := float32(1 / math.Sqrt(float64(cfg.DModel)))
+	for i := range p.Embedding.Data {
+		p.Embedding.Data[i] = (float32(src.Float64())*2 - 1) * scale
+	}
+	for i := 0; i < cfg.EncLayers; i++ {
+		p.Encoder = append(p.Encoder, &EncoderLayerWeights{
+			SelfAttn: NewAttentionWeights(src.Split(), cfg.DModel),
+			FFN:      NewFFNWeights(src.Split(), cfg.DModel, cfg.DFF),
+			Norm1:    NewLayerNorm(cfg.DModel, cfg.Eps),
+			Norm2:    NewLayerNorm(cfg.DModel, cfg.Eps),
+		})
+	}
+	for i := 0; i < cfg.DecLayers; i++ {
+		p.Decoder = append(p.Decoder, &DecoderLayerWeights{
+			SelfAttn:  NewAttentionWeights(src.Split(), cfg.DModel),
+			CrossAttn: NewAttentionWeights(src.Split(), cfg.DModel),
+			FFN:       NewFFNWeights(src.Split(), cfg.DModel, cfg.DFF),
+			Norm1:     NewLayerNorm(cfg.DModel, cfg.Eps),
+			Norm2:     NewLayerNorm(cfg.DModel, cfg.Eps),
+			Norm3:     NewLayerNorm(cfg.DModel, cfg.Eps),
+		})
+	}
+	p.OutProj = NewLinear(src.Split(), cfg.DModel, cfg.VocabSize)
+	return p
+}
+
+// Embed looks up token embeddings for ids, producing a len(ids)×DModel
+// matrix. Out-of-range ids panic: the engine validates tokens upstream.
+func (p *Params) Embed(ids []int) *tensor.Matrix {
+	d := p.Embedding.Cols
+	x := tensor.New(len(ids), d)
+	for i, id := range ids {
+		copy(x.Row(i), p.Embedding.Row(id))
+	}
+	return x
+}

@@ -1,0 +1,69 @@
+package model
+
+import (
+	"math"
+
+	"tcb/internal/tensor"
+)
+
+// PositionalEncoding returns the sinusoidal table PE[pos][dim] for positions
+// 0..maxLen-1 following Eq. 1–2 of the paper (Vaswani et al. [32]):
+//
+//	PE(pos, 2e)   = sin(pos / 10000^(2e/d_model))
+//	PE(pos, 2e+1) = cos(pos / 10000^((2e+1)/d_model))
+func PositionalEncoding(maxLen, dModel int) *tensor.Matrix {
+	pe := tensor.New(maxLen, dModel)
+	for pos := 0; pos < maxLen; pos++ {
+		row := pe.Row(pos)
+		for dim := 0; dim < dModel; dim++ {
+			exp := float64(dim) / float64(dModel)
+			angle := float64(pos) / math.Pow(10000, exp)
+			if dim%2 == 0 {
+				row[dim] = float32(math.Sin(angle))
+			} else {
+				row[dim] = float32(math.Cos(angle))
+			}
+		}
+	}
+	return pe
+}
+
+// AddPositionalTraditional adds the default positional encoding to x,
+// treating the whole row as a single sentence (Fig. 5a): token at row offset
+// p receives PE(p) regardless of which request it belongs to. This is what
+// an unmodified framework would do, and it is *wrong* under ConcatBatching —
+// kept for the correctness ablation tests.
+func AddPositionalTraditional(x *tensor.Matrix, pe *tensor.Matrix) {
+	if x.Rows > pe.Rows {
+		panic("model: row longer than positional encoding table")
+	}
+	for p := 0; p < x.Rows; p++ {
+		row := x.Row(p)
+		peRow := pe.Row(p)
+		for j := range row {
+			row[j] += peRow[j]
+		}
+	}
+}
+
+// AddPositionalSeparate adds TCB's separate positional encoding (Fig. 5b):
+// the position counter restarts at 0 for each segment of the row, so the
+// k-th token of every request receives PE(k) exactly as it would when served
+// alone. Padding positions receive no encoding.
+func AddPositionalSeparate(x *tensor.Matrix, pe *tensor.Matrix, layout RowLayout) {
+	if x.Rows != layout.Total {
+		panic("model: layout total does not match row length")
+	}
+	for _, s := range layout.Segments {
+		if s.Len > pe.Rows {
+			panic("model: segment longer than positional encoding table")
+		}
+		for k := 0; k < s.Len; k++ {
+			row := x.Row(s.Start + k)
+			peRow := pe.Row(k)
+			for j := range row {
+				row[j] += peRow[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tcb/internal/rng"
+	"tcb/internal/tensor"
+	"tcb/internal/vocab"
+)
+
+// SampleConfig controls stochastic decoding.
+type SampleConfig struct {
+	// Temperature scales logits before softmax. 0 means greedy (argmax);
+	// 1 samples the model distribution; >1 flattens it.
+	Temperature float64
+	// TopK restricts sampling to the K most likely tokens (0 = all).
+	TopK int
+	// Seed makes sampling deterministic.
+	Seed uint64
+}
+
+// Validate reports invalid sampling parameters.
+func (sc SampleConfig) Validate() error {
+	if sc.Temperature < 0 {
+		return fmt.Errorf("model: negative temperature %g", sc.Temperature)
+	}
+	if sc.TopK < 0 {
+		return fmt.Errorf("model: negative top-k %d", sc.TopK)
+	}
+	return nil
+}
+
+// sampleLogits draws a token id from logits under sc using src.
+func sampleLogits(logits []float32, sc SampleConfig, src *rng.Source) int {
+	if sc.Temperature == 0 {
+		best, bestj := float32(math.Inf(-1)), 0
+		for j, v := range logits {
+			if v > best {
+				best, bestj = v, j
+			}
+		}
+		return bestj
+	}
+	type cand struct {
+		id int
+		lg float64
+	}
+	cands := make([]cand, len(logits))
+	for j, v := range logits {
+		cands[j] = cand{j, float64(v) / sc.Temperature}
+	}
+	if sc.TopK > 0 && sc.TopK < len(cands) {
+		sort.Slice(cands, func(a, b int) bool { return cands[a].lg > cands[b].lg })
+		cands = cands[:sc.TopK]
+	}
+	// Stable softmax over the candidate set.
+	maxv := math.Inf(-1)
+	for _, c := range cands {
+		if c.lg > maxv {
+			maxv = c.lg
+		}
+	}
+	var total float64
+	weights := make([]float64, len(cands))
+	for i, c := range cands {
+		w := math.Exp(c.lg - maxv)
+		weights[i] = w
+		total += w
+	}
+	u := src.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u <= 0 {
+			return cands[i].id
+		}
+	}
+	return cands[len(cands)-1].id
+}
+
+// GenerateRowSampled decodes every segment with temperature/top-k sampling
+// over the KV-cached incremental decoder. With Temperature == 0 it is
+// exactly GenerateRowCached (greedy). Sampling is deterministic in
+// sc.Seed, and each segment consumes an independent split of the stream so
+// results do not depend on which other requests share the batch.
+func (m *Model) GenerateRowSampled(encOut *tensor.Matrix, encLayout RowLayout, caps []int, sc SampleConfig) ([]GenerateResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	nSeg := len(encLayout.Segments)
+	if len(caps) != nSeg {
+		return nil, fmt.Errorf("model: %d caps for %d segments", len(caps), nSeg)
+	}
+	root := rng.New(sc.Seed)
+	streams := make([]*rng.Source, nSeg)
+	for i := range streams {
+		streams[i] = root.Split()
+	}
+	st := m.NewDecodeState(encOut, encLayout)
+	results := make([]GenerateResult, nSeg)
+	next := make([]int, nSeg)
+	for i := range next {
+		next[i] = vocab.BosID
+		if caps[i] <= 0 {
+			st.MarkFinished(i)
+		}
+	}
+	maxNew := 0
+	for _, c := range caps {
+		if c > maxNew {
+			maxNew = c
+		}
+	}
+	for step := 0; step < maxNew && !st.AllFinished(); step++ {
+		logits, err := st.Step(next)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < nSeg; i++ {
+			if st.Finished(i) || logits[i] == nil {
+				continue
+			}
+			tok := sampleLogits(logits[i], sc, streams[i])
+			results[i].Steps = step + 1
+			if tok == vocab.EosID {
+				st.MarkFinished(i)
+				continue
+			}
+			results[i].Tokens = append(results[i].Tokens, tok)
+			next[i] = tok
+			if len(results[i].Tokens) >= caps[i] {
+				st.MarkFinished(i)
+			}
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,178 @@
+package model
+
+import (
+	"testing"
+
+	"tcb/internal/rng"
+	"tcb/internal/tensor"
+)
+
+func sampleSetup(t *testing.T) (*Model, *tensor.Matrix, RowLayout) {
+	t.Helper()
+	m := testModel(t)
+	src := rng.New(71)
+	req := randTokens(src, 6)
+	layout := SingleSegment(6, 6)
+	encOut := m.EncodeRow(req, layout, nil, AttDense, true)
+	return m, encOut, layout
+}
+
+func TestSampleConfigValidate(t *testing.T) {
+	if (SampleConfig{Temperature: -1}).Validate() == nil {
+		t.Fatal("negative temperature should fail")
+	}
+	if (SampleConfig{TopK: -1}).Validate() == nil {
+		t.Fatal("negative top-k should fail")
+	}
+	if (SampleConfig{Temperature: 0.7, TopK: 5}).Validate() != nil {
+		t.Fatal("valid config rejected")
+	}
+}
+
+func TestSampledZeroTemperatureIsGreedy(t *testing.T) {
+	m, encOut, layout := sampleSetup(t)
+	greedy, err := m.GenerateRowCached(encOut, layout, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := m.GenerateRowSampled(encOut, layout, []int{5}, SampleConfig{Temperature: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(greedy[0].Tokens) != len(sampled[0].Tokens) {
+		t.Fatalf("greedy %v vs T=0 sampled %v", greedy[0].Tokens, sampled[0].Tokens)
+	}
+	for i := range greedy[0].Tokens {
+		if greedy[0].Tokens[i] != sampled[0].Tokens[i] {
+			t.Fatalf("token %d differs under T=0", i)
+		}
+	}
+}
+
+func TestSampledTopK1IsGreedy(t *testing.T) {
+	m, encOut, layout := sampleSetup(t)
+	greedy, err := m.GenerateRowCached(encOut, layout, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := m.GenerateRowSampled(encOut, layout, []int{4},
+		SampleConfig{Temperature: 1, TopK: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range greedy[0].Tokens {
+		if i >= len(sampled[0].Tokens) || greedy[0].Tokens[i] != sampled[0].Tokens[i] {
+			t.Fatalf("top-k=1 should be greedy: %v vs %v", sampled[0].Tokens, greedy[0].Tokens)
+		}
+	}
+}
+
+func TestSampledDeterministicInSeed(t *testing.T) {
+	m, encOut, layout := sampleSetup(t)
+	sc := SampleConfig{Temperature: 1.2, TopK: 10, Seed: 42}
+	a, err := m.GenerateRowSampled(encOut, layout, []int{6}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.GenerateRowSampled(encOut, layout, []int{6}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a[0].Tokens) != len(b[0].Tokens) {
+		t.Fatal("same seed produced different lengths")
+	}
+	for i := range a[0].Tokens {
+		if a[0].Tokens[i] != b[0].Tokens[i] {
+			t.Fatal("same seed produced different tokens")
+		}
+	}
+}
+
+func TestSampledSeedsDiffer(t *testing.T) {
+	m, encOut, layout := sampleSetup(t)
+	differ := false
+	base, err := m.GenerateRowSampled(encOut, layout, []int{8},
+		SampleConfig{Temperature: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(2); seed <= 6; seed++ {
+		out, err := m.GenerateRowSampled(encOut, layout, []int{8},
+			SampleConfig{Temperature: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out[0].Tokens) != len(base[0].Tokens) {
+			differ = true
+			break
+		}
+		for i := range out[0].Tokens {
+			if out[0].Tokens[i] != base[0].Tokens[i] {
+				differ = true
+				break
+			}
+		}
+	}
+	if !differ {
+		t.Fatal("high-temperature sampling identical across 5 seeds — suspicious")
+	}
+}
+
+func TestSampledRespectsCaps(t *testing.T) {
+	m := testModel(t)
+	src := rng.New(72)
+	requests := [][]int{randTokens(src, 4), randTokens(src, 5)}
+	row, layout := buildConcatRow(requests, 9)
+	encOut := m.EncodeRow(row, layout, nil, AttDense, true)
+	out, err := m.GenerateRowSampled(encOut, layout, []int{2, 0},
+		SampleConfig{Temperature: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[0].Tokens) > 2 || len(out[1].Tokens) != 0 {
+		t.Fatalf("caps violated: %v / %v", out[0].Tokens, out[1].Tokens)
+	}
+}
+
+func TestSampledInvalidInputs(t *testing.T) {
+	m, encOut, layout := sampleSetup(t)
+	if _, err := m.GenerateRowSampled(encOut, layout, []int{1, 2}, SampleConfig{}); err == nil {
+		t.Fatal("caps mismatch should fail")
+	}
+	if _, err := m.GenerateRowSampled(encOut, layout, []int{1}, SampleConfig{Temperature: -2}); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+}
+
+// Per-segment stream splitting: a request's sampled output must not depend
+// on which other requests share the batch row.
+func TestSampledBatchInvariance(t *testing.T) {
+	m := testModel(t)
+	src := rng.New(73)
+	reqA := randTokens(src, 5)
+	reqB := randTokens(src, 7)
+	sc := SampleConfig{Temperature: 1.5, TopK: 8, Seed: 99}
+
+	// reqA alone.
+	layoutSolo := SingleSegment(5, 5)
+	encSolo := m.EncodeRow(reqA, layoutSolo, nil, AttDense, true)
+	solo, err := m.GenerateRowSampled(encSolo, layoutSolo, []int{4}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// reqA concatenated with reqB: segment 0's stream is the same split.
+	row, layout := buildConcatRow([][]int{reqA, reqB}, 12)
+	encBatch := m.EncodeRow(row, layout, nil, AttDense, true)
+	batched, err := m.GenerateRowSampled(encBatch, layout, []int{4, 4}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solo[0].Tokens) != len(batched[0].Tokens) {
+		t.Fatalf("batch changed sampling: %v vs %v", solo[0].Tokens, batched[0].Tokens)
+	}
+	for i := range solo[0].Tokens {
+		if solo[0].Tokens[i] != batched[0].Tokens[i] {
+			t.Fatalf("token %d depends on batch composition", i)
+		}
+	}
+}

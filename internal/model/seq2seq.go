@@ -1,0 +1,251 @@
+package model
+
+import (
+	"fmt"
+
+	"tcb/internal/tensor"
+	"tcb/internal/vocab"
+)
+
+// AttentionMode selects how self-attention handles a concatenated row.
+type AttentionMode int
+
+const (
+	// AttDense computes the full row×row score matrix and neutralizes
+	// inter-request entries with the mask M — pure ConcatBatching (§4.1).
+	AttDense AttentionMode = iota
+	// AttSlotted computes attention per slot (Att_CB_S, §4.2.1), skipping
+	// the off-slot score entries entirely.
+	AttSlotted
+)
+
+func (m AttentionMode) String() string {
+	switch m {
+	case AttDense:
+		return "dense"
+	case AttSlotted:
+		return "slotted"
+	default:
+		return fmt.Sprintf("AttentionMode(%d)", int(m))
+	}
+}
+
+// Model is a Seq2Seq transformer with ConcatBatching-aware inference.
+type Model struct {
+	Cfg Config
+	P   *Params
+}
+
+// New builds a model with deterministic random weights.
+func New(cfg Config, seed uint64) *Model {
+	return &Model{Cfg: cfg, P: NewParams(cfg, seed)}
+}
+
+// embedRow embeds one row of token ids and applies positional encoding.
+// separatePE selects TCB's per-segment encoding (Fig. 5b) versus the
+// traditional whole-row encoding (Fig. 5a).
+func (m *Model) embedRow(tokens []int, layout RowLayout, separatePE bool) *tensor.Matrix {
+	if len(tokens) != layout.Total {
+		panic(fmt.Sprintf("model: %d tokens vs layout total %d", len(tokens), layout.Total))
+	}
+	x := m.P.Embed(tokens)
+	if separatePE {
+		AddPositionalSeparate(x, m.P.PosEnc, layout)
+	} else {
+		AddPositionalTraditional(x, m.P.PosEnc)
+	}
+	return x
+}
+
+// encoderSelfAttn dispatches one encoder self-attention according to mode.
+func (m *Model) selfAttn(w *AttentionWeights, x *tensor.Matrix, mask *tensor.Matrix, slots []Slot, mode AttentionMode) *tensor.Matrix {
+	if mode == AttSlotted {
+		return MultiHeadAttentionSlotted(w, m.Cfg.NumHeads, x, slots, mask)
+	}
+	return MultiHeadAttention(w, m.Cfg.NumHeads, x, x, mask)
+}
+
+// EncodeRow runs the encoder stack over one (possibly concatenated) row.
+//
+// tokens must have length layout.Total with padding positions set to
+// vocab.PadID. For AttSlotted, slots must partition the segments (e.g. from
+// RowLayout.SlotsOfSize); for AttDense, slots is ignored. separatePE must be
+// true whenever the row holds more than one segment, or results are wrong —
+// EncodeRow enforces this.
+func (m *Model) EncodeRow(tokens []int, layout RowLayout, slots []Slot, mode AttentionMode, separatePE bool) *tensor.Matrix {
+	if err := layout.Validate(); err != nil {
+		panic(err)
+	}
+	if len(layout.Segments) > 1 && !separatePE {
+		panic("model: concatenated rows require separate positional encoding")
+	}
+	x := m.embedRow(tokens, layout, separatePE)
+	mask := layout.BuildMask()
+	for _, layer := range m.P.Encoder {
+		attn := m.selfAttn(layer.SelfAttn, x, mask, slots, mode)
+		tensor.AddInPlace(x, attn)
+		layer.Norm1.Apply(x)
+		ff := layer.FFN.Apply(x)
+		tensor.AddInPlace(x, ff)
+		layer.Norm2.Apply(x)
+	}
+	return x
+}
+
+// decodeStep runs the decoder stack over the current concatenated decoder
+// prefixes and returns the hidden states.
+func (m *Model) decodeStep(decTokens []int, decLayout RowLayout, decSlots []Slot,
+	encOut *tensor.Matrix, encLayout RowLayout, mode AttentionMode) *tensor.Matrix {
+	x := m.embedRow(decTokens, decLayout, true)
+	selfMask := decLayout.BuildCausalMask()
+	crossMask := decLayout.BuildCrossMask(encLayout)
+	for _, layer := range m.P.Decoder {
+		attn := m.selfAttn(layer.SelfAttn, x, selfMask, decSlots, mode)
+		tensor.AddInPlace(x, attn)
+		layer.Norm1.Apply(x)
+		cross := MultiHeadAttention(layer.CrossAttn, m.Cfg.NumHeads, x, encOut, crossMask)
+		tensor.AddInPlace(x, cross)
+		layer.Norm2.Apply(x)
+		ff := layer.FFN.Apply(x)
+		tensor.AddInPlace(x, ff)
+		layer.Norm3.Apply(x)
+	}
+	return x
+}
+
+// Logits projects hidden states to vocabulary logits.
+func (m *Model) Logits(hidden *tensor.Matrix) *tensor.Matrix {
+	return m.P.OutProj.Apply(hidden)
+}
+
+// regroupSlots maps an encoder slot partition onto a decoder layout: slot k
+// of the result contains the same segment indices as encSlots[k], with
+// offsets recomputed from decLayout. Empty groups are dropped.
+func regroupSlots(encSlots []Slot, decLayout RowLayout) []Slot {
+	out := make([]Slot, 0, len(encSlots))
+	for _, s := range encSlots {
+		var ns Slot
+		first := true
+		for _, si := range s.SegIdx {
+			seg := decLayout.Segments[si]
+			if first {
+				ns.Start = seg.Start
+				first = false
+			}
+			ns.SegIdx = append(ns.SegIdx, si)
+			ns.Len = seg.End() - ns.Start
+		}
+		if !first {
+			out = append(out, ns)
+		}
+	}
+	return out
+}
+
+// GenerateResult is the decoded output for one segment of a row.
+type GenerateResult struct {
+	Tokens []int // generated ids, EOS excluded
+	Steps  int   // decode steps consumed (≥1 unless maxNew == 0)
+}
+
+// GenerateRow greedily decodes every segment of a row in lockstep: one new
+// token per unfinished segment per step, exactly the auto-regressive batch
+// decode the paper's early-memory-cleaning observation (§4.2.2) relies on —
+// segments finish at different steps.
+//
+// encOut and encLayout come from EncodeRow. encSlots is the slot partition
+// used for slotted self-attention inside the decoder (ignored for AttDense).
+// maxNew bounds generation length per segment.
+func (m *Model) GenerateRow(encOut *tensor.Matrix, encLayout RowLayout, encSlots []Slot,
+	maxNew int, mode AttentionMode) []GenerateResult {
+	caps := make([]int, len(encLayout.Segments))
+	for i := range caps {
+		caps[i] = maxNew
+	}
+	return m.GenerateRowCapped(encOut, encLayout, encSlots, caps, mode)
+}
+
+// GenerateRowCapped is GenerateRow with a per-segment generation cap —
+// the natural setting for seq2seq serving, where output length tracks
+// input length and requests in one batch therefore finish at different
+// decoder steps (the premise of §4.2.2's early memory cleaning).
+// len(caps) must equal the number of segments.
+func (m *Model) GenerateRowCapped(encOut *tensor.Matrix, encLayout RowLayout, encSlots []Slot,
+	caps []int, mode AttentionMode) []GenerateResult {
+	nSeg := len(encLayout.Segments)
+	if len(caps) != nSeg {
+		panic(fmt.Sprintf("model: %d caps for %d segments", len(caps), nSeg))
+	}
+	maxNew := 0
+	for _, c := range caps {
+		if c > maxNew {
+			maxNew = c
+		}
+	}
+	results := make([]GenerateResult, nSeg)
+	prefixes := make([][]int, nSeg)
+	finished := make([]bool, nSeg)
+	for i := range prefixes {
+		prefixes[i] = []int{vocab.BosID}
+		if caps[i] <= 0 {
+			finished[i] = true
+		}
+	}
+	for step := 0; step < maxNew; step++ {
+		allDone := true
+		for _, f := range finished {
+			if !f {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		// Build the concatenated decoder row from current prefixes.
+		lengths := make([]int, nSeg)
+		total := 0
+		for i, p := range prefixes {
+			lengths[i] = len(p)
+			total += len(p)
+		}
+		decLayout := ConcatLayout(lengths, total)
+		decTokens := make([]int, 0, total)
+		for _, p := range prefixes {
+			decTokens = append(decTokens, p...)
+		}
+		var decSlots []Slot
+		if mode == AttSlotted {
+			decSlots = regroupSlots(encSlots, decLayout)
+		}
+		hidden := m.decodeStep(decTokens, decLayout, decSlots, encOut, encLayout, mode)
+		// Read the logits at each segment's last position.
+		for i, seg := range decLayout.Segments {
+			if finished[i] {
+				continue
+			}
+			last := hidden.View(seg.End()-1, seg.End())
+			logits := m.Logits(last)
+			next := tensor.ArgmaxRows(logits)[0]
+			results[i].Steps = step + 1
+			if next == vocab.EosID {
+				finished[i] = true
+				continue
+			}
+			prefixes[i] = append(prefixes[i], next)
+			results[i].Tokens = append(results[i].Tokens, next)
+			if len(results[i].Tokens) >= caps[i] {
+				finished[i] = true
+			}
+		}
+	}
+	return results
+}
+
+// EncodeSingle is a convenience wrapper: run one request alone (no
+// concatenation, no padding) through the encoder. This is the reference
+// the ConcatBatching equivalence tests compare against.
+func (m *Model) EncodeSingle(tokens []int) *tensor.Matrix {
+	layout := SingleSegment(len(tokens), len(tokens))
+	return m.EncodeRow(tokens, layout, layout.WholeRowSlot(), AttDense, true)
+}

@@ -1,0 +1,101 @@
+// Package pq provides a generic binary min-heap parameterized by a
+// less-than comparison, plus thin wrappers for the orderings TCB's
+// schedulers need (earliest deadline first, highest utility first).
+package pq
+
+// Heap is a binary heap ordered by less. The zero value is not usable;
+// construct with New.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// New returns an empty heap ordered by less (a "min"-heap under less).
+func New[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// FromSlice heapifies items (taking ownership of the slice) in O(n).
+func FromSlice[T any](items []T, less func(a, b T) bool) *Heap[T] {
+	h := &Heap[T]{items: items, less: less}
+	for i := len(items)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	return h
+}
+
+// Len returns the number of elements.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push inserts x.
+func (h *Heap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the minimum without removing it. ok is false when empty.
+func (h *Heap[T]) Peek() (x T, ok bool) {
+	if len(h.items) == 0 {
+		return x, false
+	}
+	return h.items[0], true
+}
+
+// Pop removes and returns the minimum. ok is false when empty.
+func (h *Heap[T]) Pop() (x T, ok bool) {
+	if len(h.items) == 0 {
+		return x, false
+	}
+	x = h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero
+	h.items = h.items[:last]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return x, true
+}
+
+// Drain removes all elements in order and returns them.
+func (h *Heap[T]) Drain() []T {
+	out := make([]T, 0, len(h.items))
+	for {
+		x, ok := h.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, x)
+	}
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

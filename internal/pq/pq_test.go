@@ -1,0 +1,162 @@
+package pq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intHeap() *Heap[int] {
+	return New(func(a, b int) bool { return a < b })
+}
+
+func TestEmptyHeap(t *testing.T) {
+	h := intHeap()
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", h.Len())
+	}
+	if _, ok := h.Peek(); ok {
+		t.Fatal("Peek on empty should return ok=false")
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty should return ok=false")
+	}
+}
+
+func TestPushPopOrdering(t *testing.T) {
+	h := intHeap()
+	for _, x := range []int{5, 3, 8, 1, 9, 2, 7} {
+		h.Push(x)
+	}
+	want := []int{1, 2, 3, 5, 7, 8, 9}
+	for i, w := range want {
+		if top, _ := h.Peek(); top != w {
+			t.Fatalf("Peek #%d = %d, want %d", i, top, w)
+		}
+		got, ok := h.Pop()
+		if !ok || got != w {
+			t.Fatalf("Pop #%d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len after drain = %d", h.Len())
+	}
+}
+
+func TestFromSliceHeapifies(t *testing.T) {
+	h := FromSlice([]int{9, 4, 6, 1, 8}, func(a, b int) bool { return a < b })
+	got := h.Drain()
+	want := []int{1, 4, 6, 8, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Drain = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaxHeapOrdering(t *testing.T) {
+	h := New(func(a, b int) bool { return a > b })
+	for _, x := range []int{3, 1, 4, 1, 5} {
+		h.Push(x)
+	}
+	got := h.Drain()
+	want := []int{5, 4, 3, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("max-heap Drain = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	h := intHeap()
+	for i := 0; i < 10; i++ {
+		h.Push(7)
+	}
+	for i := 0; i < 10; i++ {
+		if v, ok := h.Pop(); !ok || v != 7 {
+			t.Fatalf("Pop = %v/%v", v, ok)
+		}
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	h := intHeap()
+	h.Push(5)
+	h.Push(1)
+	if v, _ := h.Pop(); v != 1 {
+		t.Fatalf("Pop = %d, want 1", v)
+	}
+	h.Push(0)
+	h.Push(3)
+	if v, _ := h.Pop(); v != 0 {
+		t.Fatalf("Pop = %d, want 0", v)
+	}
+	if v, _ := h.Pop(); v != 3 {
+		t.Fatalf("Pop = %d, want 3", v)
+	}
+	if v, _ := h.Pop(); v != 5 {
+		t.Fatalf("Pop = %d, want 5", v)
+	}
+}
+
+func TestStructElements(t *testing.T) {
+	type task struct {
+		deadline int
+		id       string
+	}
+	h := New(func(a, b task) bool { return a.deadline < b.deadline })
+	h.Push(task{10, "late"})
+	h.Push(task{1, "urgent"})
+	h.Push(task{5, "mid"})
+	if got, _ := h.Pop(); got.id != "urgent" {
+		t.Fatalf("Pop = %+v, want urgent", got)
+	}
+}
+
+// Property: draining the heap yields a sorted permutation of the input.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(xs []int) bool {
+		h := FromSlice(append([]int(nil), xs...), func(a, b int) bool { return a < b })
+		got := h.Drain()
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Push-then-Drain agrees with FromSlice-then-Drain.
+func TestPushEquivalentToFromSlice(t *testing.T) {
+	f := func(xs []int8) bool {
+		less := func(a, b int8) bool { return a < b }
+		h1 := New(less)
+		for _, x := range xs {
+			h1.Push(x)
+		}
+		h2 := FromSlice(append([]int8(nil), xs...), less)
+		a, b := h1.Drain(), h2.Drain()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

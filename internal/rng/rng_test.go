@@ -1,0 +1,234 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions across different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// Child stream must not track the parent.
+	matches := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Fatalf("child stream tracks parent: %d matches", matches)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a, b := New(9), New(9)
+	ca, cb := a.Split(), b.Split()
+	for i := 0; i < 50; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatal("Split must be deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(4)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) hit only %d values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(6)
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("IntRange(3,5) = %d", v)
+		}
+	}
+	if v := s.IntRange(4, 4); v != 4 {
+		t.Fatalf("IntRange(4,4) = %d", v)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(8)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(20, 4)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-20) > 0.1 {
+		t.Fatalf("normal mean %v, want ~20", mean)
+	}
+	if math.Abs(variance-16) > 0.5 {
+		t.Fatalf("normal variance %v, want ~16", variance)
+	}
+}
+
+func TestTruncatedNormalIntRange(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 20000; i++ {
+		v := s.TruncatedNormalInt(20, math.Sqrt(20), 3, 100)
+		if v < 3 || v > 100 {
+			t.Fatalf("length %d out of [3,100]", v)
+		}
+	}
+}
+
+func TestTruncatedNormalIntPathological(t *testing.T) {
+	// Mass almost entirely above range: must clamp, not spin.
+	s := New(10)
+	v := s.TruncatedNormalInt(1e9, 1, 3, 100)
+	if v != 100 {
+		t.Fatalf("pathological truncation = %d, want clamp to 100", v)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(0.5)
+	}
+	if mean := sum / n; math.Abs(mean-2) > 0.05 {
+		t.Fatalf("Exp(0.5) mean %v, want ~2", mean)
+	}
+}
+
+func TestExpNonNegative(t *testing.T) {
+	f := func(seed uint32) bool {
+		return New(uint64(seed)).Exp(1.5) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, lambda := range []float64{0.5, 4, 30, 200} {
+		s := New(uint64(lambda * 100))
+		const n = 50000
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			v := float64(s.Poisson(lambda))
+			sum += v
+			sq += v * v
+		}
+		mean := sum / n
+		variance := sq/n - mean*mean
+		if math.Abs(mean-lambda) > 0.05*lambda+0.1 {
+			t.Fatalf("Poisson(%v) mean %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.12*lambda+0.2 {
+			t.Fatalf("Poisson(%v) variance %v", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	if v := New(1).Poisson(0); v != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", v)
+	}
+}
+
+func TestShufflePermutation(t *testing.T) {
+	s := New(12)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	Shuffle(s, xs)
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestShuffleUniformish(t *testing.T) {
+	// Element 0 should land in each position roughly uniformly.
+	s := New(13)
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		xs := []int{0, 1, 2, 3}
+		Shuffle(s, xs)
+		for pos, x := range xs {
+			if x == 0 {
+				counts[pos]++
+			}
+		}
+	}
+	for pos, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Fatalf("position %d frequency %v, want ~0.25", pos, frac)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package sched
+
+// FCFS schedules first-come-first-served: requests fill the batch in
+// arrival order (§6.2.2, §6.2.4).
+type FCFS struct{}
+
+// Name implements Scheduler.
+func (FCFS) Name() string { return "FCFS" }
+
+// Schedule implements Scheduler.
+func (FCFS) Schedule(now float64, pending []*Request, B, L int) Decision {
+	order := append([]*Request(nil), pending...)
+	byArrivalAsc(order)
+	return Decision{Rows: fillRowsInOrder(order, B, L)}
+}
+
+// SJF schedules shortest-job-first: requests fill the batch in increasing
+// length order (§6.2.4).
+type SJF struct{}
+
+// Name implements Scheduler.
+func (SJF) Name() string { return "SJF" }
+
+// Schedule implements Scheduler.
+func (SJF) Schedule(now float64, pending []*Request, B, L int) Decision {
+	order := append([]*Request(nil), pending...)
+	byLenAsc(order)
+	return Decision{Rows: fillRowsInOrder(order, B, L)}
+}
+
+// DEF schedules deadline-early-first (earliest deadline first, §6.2.4).
+type DEF struct{}
+
+// Name implements Scheduler.
+func (DEF) Name() string { return "DEF" }
+
+// Schedule implements Scheduler.
+func (DEF) Schedule(now float64, pending []*Request, B, L int) Decision {
+	order := append([]*Request(nil), pending...)
+	byDeadlineAsc(order)
+	return Decision{Rows: fillRowsInOrder(order, B, L)}
+}

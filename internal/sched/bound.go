@@ -1,0 +1,57 @@
+package sched
+
+import "sort"
+
+// FractionalUpperBound returns an upper bound on the offline optimum of the
+// scheduling MILP (Eq. 9–13) that is computable for instances far beyond
+// BruteForceOPT's reach: relax integrality and the per-(slot,row) structure
+// to a single aggregate token budget numSlots·B·L, then solve the resulting
+// fractional knapsack greedily by utility density vₙ/lₙ = 1/lₙ².
+//
+// Validity: any feasible schedule processes at most numSlots·B·L request
+// tokens in total and earns vₙ per fully scheduled request, so it is a
+// feasible point of the relaxed problem, whose optimum the greedy
+// fractional fill attains exactly. The bound ignores time windows and
+// per-row packing, so it can be loose — it is an upper bound, never an
+// estimate.
+func FractionalUpperBound(requests []*Request, numSlots, B, L int) float64 {
+	if numSlots <= 0 || B <= 0 || L <= 0 {
+		return 0
+	}
+	budget := float64(numSlots) * float64(B) * float64(L)
+	order := append([]*Request(nil), requests...)
+	// Density vₙ/lₙ = 1/lₙ²: shortest first (ties by ID for determinism).
+	sort.SliceStable(order, func(a, b int) bool {
+		if order[a].Len != order[b].Len {
+			return order[a].Len < order[b].Len
+		}
+		return order[a].ID < order[b].ID
+	})
+	var total float64
+	for _, r := range order {
+		if budget <= 0 {
+			break
+		}
+		l := float64(r.Len)
+		if l <= budget {
+			total += r.Utility()
+			budget -= l
+		} else {
+			total += r.Utility() * budget / l
+			budget = 0
+		}
+	}
+	return total
+}
+
+// EfficiencyRatio runs scheduler s online over the slot times and reports
+// ALG / UB, where UB is the fractional upper bound. The true competitive
+// ratio ALG/OPT is at least this value (OPT ≤ UB), so a high ratio here
+// certifies near-optimality on the instance.
+func EfficiencyRatio(s Scheduler, requests []*Request, slotTimes []float64, B, L int) float64 {
+	ub := FractionalUpperBound(requests, len(slotTimes), B, L)
+	if ub == 0 {
+		return 1
+	}
+	return RunOnline(s, requests, slotTimes, B, L) / ub
+}

@@ -1,0 +1,571 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"tcb/internal/rng"
+)
+
+func req(id int64, length int, arrival, deadline float64) *Request {
+	return &Request{ID: id, Arrival: arrival, Deadline: deadline, Len: length}
+}
+
+func TestRequestUtility(t *testing.T) {
+	if u := req(1, 4, 0, 10).Utility(); u != 0.25 {
+		t.Fatalf("utility = %v, want 0.25", u)
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	if req(1, 5, 0, 10).Validate() != nil {
+		t.Fatal("valid request rejected")
+	}
+	if req(1, 0, 0, 10).Validate() == nil {
+		t.Fatal("zero length should fail")
+	}
+	if req(1, 5, 10, 5).Validate() == nil {
+		t.Fatal("deadline before arrival should fail")
+	}
+}
+
+func TestExpire(t *testing.T) {
+	pool := []*Request{
+		req(1, 5, 0, 10),  // alive at t=5
+		req(2, 5, 0, 3),   // expired at t=5
+		req(3, 5, 8, 20),  // future at t=5
+		req(4, 5, 5, 5),   // boundary: alive exactly at deadline
+	}
+	alive, expired, future := Expire(pool, 5)
+	if len(alive) != 2 || len(expired) != 1 || len(future) != 1 {
+		t.Fatalf("alive/expired/future = %d/%d/%d", len(alive), len(expired), len(future))
+	}
+	if expired[0].ID != 2 || future[0].ID != 3 {
+		t.Fatal("wrong partition membership")
+	}
+}
+
+func TestTotalHelpers(t *testing.T) {
+	rs := []*Request{req(1, 2, 0, 9), req(2, 4, 0, 9)}
+	if TotalLen(rs) != 6 {
+		t.Fatalf("TotalLen = %d", TotalLen(rs))
+	}
+	if u := TotalUtility(rs); math.Abs(u-0.75) > 1e-12 {
+		t.Fatalf("TotalUtility = %v", u)
+	}
+}
+
+func TestDecisionValidate(t *testing.T) {
+	r1, r2 := req(1, 4, 0, 10), req(2, 5, 0, 10)
+	good := Decision{Rows: [][]*Request{{r1, r2}}}
+	if err := good.Validate(5, 10); err != nil {
+		t.Fatal(err)
+	}
+	over := Decision{Rows: [][]*Request{{r1, r2, req(3, 3, 0, 10)}}}
+	if over.Validate(5, 10) == nil {
+		t.Fatal("overloaded row should fail")
+	}
+	dup := Decision{Rows: [][]*Request{{r1}, {r1}}}
+	if dup.Validate(5, 100) == nil {
+		t.Fatal("duplicate should fail")
+	}
+	late := Decision{Rows: [][]*Request{{req(4, 2, 0, 3)}}}
+	if late.Validate(5, 100) == nil {
+		t.Fatal("scheduling after deadline should fail")
+	}
+}
+
+func TestDASDefaults(t *testing.T) {
+	d := NewDAS()
+	if d.Eta != 0.5 || d.Q != 0.5 {
+		t.Fatalf("defaults = %v/%v", d.Eta, d.Q)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r := d.CompetitiveRatio(); math.Abs(r-0.2) > 1e-12 {
+		t.Fatalf("competitive ratio = %v, want 0.2 (⅕)", r)
+	}
+	if d.Name() != "DAS" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestDASValidateRejectsBadParams(t *testing.T) {
+	for _, d := range []*DAS{{Eta: 0, Q: 0.5}, {Eta: 1, Q: 0.5}, {Eta: 0.5, Q: 0}, {Eta: 0.5, Q: 1}} {
+		if d.Validate() == nil {
+			t.Fatalf("params %+v should be rejected", d)
+		}
+	}
+}
+
+func TestDASEverythingFitsShortcut(t *testing.T) {
+	// Line 4–5: total load ≤ L → all requests into one row.
+	d := NewDAS()
+	pending := []*Request{req(1, 3, 0, 9), req(2, 4, 0, 9)}
+	dec := d.Schedule(0, pending, 4, 10)
+	if len(dec.Rows[0]) != 2 {
+		t.Fatalf("row 0 = %d requests, want 2", len(dec.Rows[0]))
+	}
+	if err := dec.Validate(0, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDASUtilityDominantFirst(t *testing.T) {
+	// Shortest requests carry highest utility; DAS must pick them for NU.
+	d := NewDAS()
+	pending := []*Request{
+		req(1, 10, 0, 100), req(2, 2, 0, 100), req(3, 9, 0, 100),
+		req(4, 3, 0, 100), req(5, 8, 0, 100), req(6, 7, 0, 100),
+	}
+	dec := d.Schedule(0, pending, 1, 10)
+	if err := dec.Validate(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Sorted by utility: 2,3,7,8,9,10. Saturating prefix: 2+3=5, +7 > 10 → s=2.
+	// p = max(1, ⌊0.5·2⌋) = 1 → NU = {len 2}.
+	if len(dec.UtilityDominant) != 1 || dec.UtilityDominant[0].ID != 2 {
+		t.Fatalf("utility-dominant = %+v, want request 2", dec.UtilityDominant)
+	}
+	chosen := dec.Chosen()
+	if len(chosen) == 0 || chosen[0].ID != 2 {
+		t.Fatalf("first chosen = %+v, want request 2", chosen)
+	}
+}
+
+func TestDASDeadlinePreference(t *testing.T) {
+	// Two same-utility candidates compete for remaining space; the one
+	// with the closer deadline must win (line 12).
+	d := NewDAS()
+	pending := []*Request{
+		req(1, 2, 0, 100),  // NU (highest utility)
+		req(2, 5, 0, 50),   // candidate, late deadline
+		req(3, 5, 0, 5),    // candidate, urgent
+		req(4, 5, 0, 80),   // candidate, late
+	}
+	dec := d.Schedule(0, pending, 1, 8)
+	chosen := dec.Chosen()
+	// Row: NU {id1, len2}; remaining capacity 6 fits one len-5 request.
+	if len(chosen) != 2 {
+		t.Fatalf("chosen = %d requests, want 2", len(chosen))
+	}
+	if chosen[1].ID != 3 {
+		t.Fatalf("second pick = %d, want urgent request 3", chosen[1].ID)
+	}
+}
+
+func TestDASSkipsTooLongRequests(t *testing.T) {
+	d := NewDAS()
+	pending := []*Request{req(1, 50, 0, 10), req(2, 60, 0, 10)}
+	dec := d.Schedule(0, pending, 2, 10)
+	if len(dec.Chosen()) != 0 {
+		t.Fatal("requests longer than L must not be scheduled")
+	}
+}
+
+func TestDASMultiRow(t *testing.T) {
+	d := NewDAS()
+	var pending []*Request
+	for i := int64(1); i <= 20; i++ {
+		pending = append(pending, req(i, 5, 0, 100))
+	}
+	dec := d.Schedule(0, pending, 3, 10)
+	if err := dec.Validate(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dec.Chosen()); got != 6 { // 3 rows × 2 requests of len 5
+		t.Fatalf("chosen = %d, want 6", got)
+	}
+}
+
+func TestDASDeterministic(t *testing.T) {
+	d := NewDAS()
+	mk := func() []*Request {
+		return []*Request{
+			req(3, 4, 0, 30), req(1, 4, 0, 20), req(2, 4, 0, 20),
+			req(5, 6, 0, 10), req(4, 6, 0, 40),
+		}
+	}
+	a := d.Schedule(0, mk(), 2, 10)
+	b := d.Schedule(0, mk(), 2, 10)
+	ca, cb := a.Chosen(), b.Chosen()
+	if len(ca) != len(cb) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range ca {
+		if ca[i].ID != cb[i].ID {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}
+
+func TestBaselineOrdering(t *testing.T) {
+	pending := []*Request{
+		req(1, 9, 3, 100), // late arrival, long, late deadline
+		req(2, 2, 2, 50),
+		req(3, 5, 1, 10), // earliest deadline
+	}
+	fc := FCFS{}.Schedule(5, pending, 1, 20)
+	if fc.Rows[0][0].ID != 3 || fc.Rows[0][1].ID != 2 {
+		t.Fatalf("FCFS order wrong: %v", fc.Rows[0])
+	}
+	sj := SJF{}.Schedule(5, pending, 1, 20)
+	if sj.Rows[0][0].ID != 2 {
+		t.Fatalf("SJF should pick shortest first: %v", sj.Rows[0])
+	}
+	de := DEF{}.Schedule(5, pending, 1, 20)
+	if de.Rows[0][0].ID != 3 {
+		t.Fatalf("DEF should pick earliest deadline first: %v", de.Rows[0])
+	}
+	for _, s := range []Scheduler{FCFS{}, SJF{}, DEF{}} {
+		if s.Name() == "" {
+			t.Fatal("baseline must have a name")
+		}
+	}
+}
+
+func TestBaselinesRespectCapacity(t *testing.T) {
+	var pending []*Request
+	for i := int64(1); i <= 30; i++ {
+		pending = append(pending, req(i, 7, 0, 100))
+	}
+	for _, s := range []Scheduler{FCFS{}, SJF{}, DEF{}} {
+		dec := s.Schedule(0, pending, 2, 10)
+		if err := dec.Validate(0, 10); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if got := len(dec.Chosen()); got != 2 {
+			t.Fatalf("%s chose %d, want 2 (one len-7 per row)", s.Name(), got)
+		}
+	}
+}
+
+func TestSlottedDASSlotSize(t *testing.T) {
+	s := NewSlottedDAS()
+	// Force the non-shortcut path with plenty of load.
+	var pending []*Request
+	for i := int64(1); i <= 30; i++ {
+		pending = append(pending, req(i, 4+int(i%3), 0, 100))
+	}
+	dec := s.Schedule(0, pending, 2, 20)
+	if dec.SlotSize <= 0 || dec.SlotSize > 20 {
+		t.Fatalf("slot size = %d", dec.SlotSize)
+	}
+	// Slot size = max length among the utility-dominant picks.
+	maxNU := 0
+	for _, r := range dec.UtilityDominant {
+		if r.Len > maxNU {
+			maxNU = r.Len
+		}
+	}
+	if dec.SlotSize != maxNU {
+		t.Fatalf("slot size %d != max NU length %d", dec.SlotSize, maxNU)
+	}
+	// Every scheduled request fits its slot.
+	for _, r := range dec.Chosen() {
+		if r.Len > dec.SlotSize {
+			t.Fatalf("request %d length %d exceeds slot %d", r.ID, r.Len, dec.SlotSize)
+		}
+	}
+	if err := dec.Validate(0, 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlottedDASRespectsSlotCapacity(t *testing.T) {
+	s := NewSlottedDAS()
+	var pending []*Request
+	for i := int64(1); i <= 40; i++ {
+		pending = append(pending, req(i, 5, 0, 100))
+	}
+	dec := s.Schedule(0, pending, 1, 20)
+	// Slot size 5, 4 slots per row, each slot fits exactly one len-5.
+	if dec.SlotSize != 5 {
+		t.Fatalf("slot size = %d, want 5", dec.SlotSize)
+	}
+	if got := len(dec.Chosen()); got != 4 {
+		t.Fatalf("chosen = %d, want 4", got)
+	}
+}
+
+func TestSlottedDASFallbackWhenEverythingFits(t *testing.T) {
+	s := NewSlottedDAS()
+	pending := []*Request{req(1, 3, 0, 9), req(2, 4, 0, 9)}
+	dec := s.Schedule(0, pending, 2, 10)
+	if len(dec.Chosen()) != 2 {
+		t.Fatalf("chosen = %d, want all", len(dec.Chosen()))
+	}
+	if dec.SlotSize != 4 { // longest chosen request
+		t.Fatalf("fallback slot size = %d, want 4", dec.SlotSize)
+	}
+	if s.Name() != "SlottedDAS" {
+		t.Fatal("name wrong")
+	}
+}
+
+// Theorem 5.1 sanity: on exhaustive small instances, DAS achieves at least
+// ηq/(ηq+1) of the brute-force optimum.
+func TestDASCompetitiveBound(t *testing.T) {
+	d := NewDAS()
+	ratio := d.CompetitiveRatio()
+	src := rng.New(2024)
+	slotTimes := []float64{0, 1, 2}
+	for trial := 0; trial < 150; trial++ {
+		n := src.IntRange(2, 7)
+		var reqs []*Request
+		for i := 0; i < n; i++ {
+			arr := float64(src.IntRange(0, 2))
+			reqs = append(reqs, &Request{
+				ID:       int64(i + 1),
+				Arrival:  arr,
+				Deadline: arr + float64(src.IntRange(0, 2)),
+				Len:      src.IntRange(1, 8),
+			})
+		}
+		B, L := 1, 10
+		alg := RunOnline(d, reqs, slotTimes, B, L)
+		opt := BruteForceOPT(reqs, slotTimes, B, L)
+		if opt == 0 {
+			continue
+		}
+		if alg < ratio*opt-1e-9 {
+			t.Fatalf("trial %d: ALG %v < %v·OPT (%v)", trial, alg, ratio, opt)
+		}
+	}
+}
+
+// The same bound must hold for arbitrary valid η, q with η + q = 1.
+func TestDASCompetitiveBoundOtherParams(t *testing.T) {
+	src := rng.New(77)
+	slotTimes := []float64{0, 1}
+	for _, eta := range []float64{0.25, 0.75} {
+		d := &DAS{Eta: eta, Q: 1 - eta}
+		ratio := d.CompetitiveRatio()
+		for trial := 0; trial < 60; trial++ {
+			n := src.IntRange(2, 6)
+			var reqs []*Request
+			for i := 0; i < n; i++ {
+				arr := float64(src.IntRange(0, 1))
+				reqs = append(reqs, &Request{
+					ID: int64(i + 1), Arrival: arr,
+					Deadline: arr + float64(src.IntRange(0, 1)),
+					Len:      src.IntRange(1, 6),
+				})
+			}
+			alg := RunOnline(d, reqs, slotTimes, 1, 8)
+			opt := BruteForceOPT(reqs, slotTimes, 1, 8)
+			if opt > 0 && alg < ratio*opt-1e-9 {
+				t.Fatalf("η=%v trial %d: ALG %v < %v·OPT (%v)", eta, trial, alg, ratio, opt)
+			}
+		}
+	}
+}
+
+// DAS should dominate or match the pure-utility and pure-deadline
+// baselines on aggregate over random online instances (the premise of
+// §6.2.4's comparison).
+func TestDASBeatsBaselinesOnAggregate(t *testing.T) {
+	src := rng.New(99)
+	slotTimes := []float64{0, 1, 2, 3}
+	var dasTotal, sjfTotal, fcfsTotal, defTotal float64
+	for trial := 0; trial < 100; trial++ {
+		var reqs []*Request
+		n := src.IntRange(8, 16)
+		for i := 0; i < n; i++ {
+			arr := float64(src.IntRange(0, 3))
+			reqs = append(reqs, &Request{
+				ID: int64(i + 1), Arrival: arr,
+				Deadline: arr + float64(src.IntRange(0, 2)),
+				Len:      src.IntRange(1, 12),
+			})
+		}
+		dasTotal += RunOnline(NewDAS(), reqs, slotTimes, 1, 12)
+		sjfTotal += RunOnline(SJF{}, reqs, slotTimes, 1, 12)
+		fcfsTotal += RunOnline(FCFS{}, reqs, slotTimes, 1, 12)
+		defTotal += RunOnline(DEF{}, reqs, slotTimes, 1, 12)
+	}
+	if dasTotal < fcfsTotal || dasTotal < defTotal {
+		t.Fatalf("DAS %v should beat FCFS %v and DEF %v on aggregate",
+			dasTotal, fcfsTotal, defTotal)
+	}
+	// SJF is utility-greedy, so DAS should at least stay close (within 2%).
+	if dasTotal < 0.98*sjfTotal {
+		t.Fatalf("DAS %v too far below SJF %v", dasTotal, sjfTotal)
+	}
+}
+
+func TestBruteForceOPTSimple(t *testing.T) {
+	// Two conflicting requests, one slot of capacity 5: OPT takes the
+	// higher-utility (shorter) one.
+	reqs := []*Request{req(1, 5, 0, 0), req(2, 3, 0, 0)}
+	opt := BruteForceOPT(reqs, []float64{0}, 1, 5)
+	if math.Abs(opt-1.0/3) > 1e-12 {
+		t.Fatalf("OPT = %v, want 1/3", opt)
+	}
+	// Two slots: both fit.
+	opt = BruteForceOPT(reqs, []float64{0, 0}, 1, 5)
+	if math.Abs(opt-(1.0/3+1.0/5)) > 1e-12 {
+		t.Fatalf("OPT = %v, want 8/15", opt)
+	}
+}
+
+func TestRunOnlineRemovesScheduled(t *testing.T) {
+	// A request scheduled at slot 0 must not be re-scheduled at slot 1.
+	reqs := []*Request{req(1, 3, 0, 10)}
+	got := RunOnline(FCFS{}, reqs, []float64{0, 1}, 1, 10)
+	if math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("utility = %v, want 1/3 (scheduled once)", got)
+	}
+}
+
+func TestFractionalUpperBoundDominatesOPT(t *testing.T) {
+	src := rng.New(303)
+	slotTimes := []float64{0, 1, 2}
+	for trial := 0; trial < 100; trial++ {
+		n := src.IntRange(2, 7)
+		var reqs []*Request
+		for i := 0; i < n; i++ {
+			arr := float64(src.IntRange(0, 2))
+			reqs = append(reqs, &Request{
+				ID: int64(i + 1), Arrival: arr,
+				Deadline: arr + float64(src.IntRange(0, 2)),
+				Len:      src.IntRange(1, 8),
+			})
+		}
+		ub := FractionalUpperBound(reqs, len(slotTimes), 1, 10)
+		opt := BruteForceOPT(reqs, slotTimes, 1, 10)
+		if ub < opt-1e-9 {
+			t.Fatalf("trial %d: UB %v < OPT %v", trial, ub, opt)
+		}
+	}
+}
+
+func TestFractionalUpperBoundSaturatedBudget(t *testing.T) {
+	// Budget 10 tokens, requests 6 and 6: full first (higher density is
+	// equal; tie by ID) plus 4/6 of the second.
+	reqs := []*Request{req(1, 6, 0, 9), req(2, 6, 0, 9)}
+	ub := FractionalUpperBound(reqs, 1, 1, 10)
+	want := 1.0/6 + (1.0/6)*(4.0/6)
+	if math.Abs(ub-want) > 1e-12 {
+		t.Fatalf("UB = %v, want %v", ub, want)
+	}
+}
+
+func TestFractionalUpperBoundAllFit(t *testing.T) {
+	reqs := []*Request{req(1, 2, 0, 9), req(2, 3, 0, 9)}
+	ub := FractionalUpperBound(reqs, 2, 2, 10)
+	if math.Abs(ub-TotalUtility(reqs)) > 1e-12 {
+		t.Fatalf("UB = %v, want all utility %v", ub, TotalUtility(reqs))
+	}
+}
+
+func TestFractionalUpperBoundDegenerate(t *testing.T) {
+	if ub := FractionalUpperBound(nil, 0, 1, 10); ub != 0 {
+		t.Fatalf("degenerate UB = %v", ub)
+	}
+}
+
+func TestEfficiencyRatio(t *testing.T) {
+	src := rng.New(304)
+	var reqs []*Request
+	for i := 0; i < 30; i++ {
+		arr := float64(src.IntRange(0, 3))
+		reqs = append(reqs, &Request{
+			ID: int64(i + 1), Arrival: arr,
+			Deadline: arr + 2,
+			Len:      src.IntRange(2, 10),
+		})
+	}
+	slotTimes := []float64{0, 1, 2, 3, 4}
+	r := EfficiencyRatio(NewDAS(), reqs, slotTimes, 2, 20)
+	if r <= 0 || r > 1+1e-9 {
+		t.Fatalf("efficiency ratio %v out of (0, 1]", r)
+	}
+	// DAS should certify well above its worst-case ⅕ bound here.
+	if r < 0.5 {
+		t.Fatalf("DAS efficiency %v suspiciously low on an easy instance", r)
+	}
+	if e := EfficiencyRatio(NewDAS(), nil, slotTimes, 2, 20); e != 1 {
+		t.Fatalf("empty instance efficiency = %v, want 1", e)
+	}
+}
+
+func TestWeightedUtility(t *testing.T) {
+	std := &Request{ID: 1, Len: 10, Deadline: 9}
+	premium := &Request{ID: 2, Len: 10, Deadline: 9, Weight: 3}
+	if std.Utility() != 0.1 {
+		t.Fatalf("default weight utility = %v", std.Utility())
+	}
+	if premium.Utility() != 0.3 {
+		t.Fatalf("weighted utility = %v", premium.Utility())
+	}
+	if (&Request{ID: 3, Len: 5, Weight: -1, Deadline: 1}).Validate() == nil {
+		t.Fatal("negative weight should fail validation")
+	}
+}
+
+func TestDASPrefersWeightedRequests(t *testing.T) {
+	// Same lengths, one premium: DAS's utility sort must favor it.
+	d := NewDAS()
+	pending := []*Request{
+		req(1, 8, 0, 100), req(2, 8, 0, 100),
+		{ID: 3, Len: 8, Arrival: 0, Deadline: 100, Weight: 5},
+		req(4, 8, 0, 100),
+	}
+	dec := d.Schedule(0, pending, 1, 8) // one row fits exactly one request
+	chosen := dec.Chosen()
+	if len(chosen) != 1 || chosen[0].ID != 3 {
+		t.Fatalf("chosen = %+v, want the premium request", chosen)
+	}
+}
+
+func TestSJFIgnoresWeights(t *testing.T) {
+	// SJF is literally shortest-first: a heavy long request must not
+	// displace a short one.
+	pending := []*Request{
+		{ID: 1, Len: 9, Arrival: 0, Deadline: 100, Weight: 100},
+		req(2, 2, 0, 100),
+	}
+	dec := SJF{}.Schedule(0, pending, 1, 9)
+	if dec.Rows[0][0].ID != 2 {
+		t.Fatalf("SJF order wrong: %v", dec.Rows[0])
+	}
+}
+
+// BenchmarkDASSchedule measures one DAS decision over a paper-scale
+// pending pool — the quantity Fig. 16 reports relative to batch time.
+func BenchmarkDASSchedule(b *testing.B) {
+	src := rng.New(1)
+	var pool []*Request
+	for i := 0; i < 400; i++ {
+		pool = append(pool, &Request{
+			ID: int64(i + 1), Arrival: 0, Deadline: float64(src.IntRange(1, 3)),
+			Len: src.IntRange(3, 100),
+		})
+	}
+	d := NewDAS()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Schedule(0, pool, 64, 100)
+	}
+}
+
+// BenchmarkSlottedDASSchedule is the Algorithm 2 counterpart.
+func BenchmarkSlottedDASSchedule(b *testing.B) {
+	src := rng.New(2)
+	var pool []*Request
+	for i := 0; i < 400; i++ {
+		pool = append(pool, &Request{
+			ID: int64(i + 1), Arrival: 0, Deadline: float64(src.IntRange(1, 3)),
+			Len: src.IntRange(3, 100),
+		})
+	}
+	s := NewSlottedDAS()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(0, pool, 64, 100)
+	}
+}

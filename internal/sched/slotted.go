@@ -1,0 +1,79 @@
+package sched
+
+// SlottedDAS is Algorithm 2: run DAS for candidate selection, derive the
+// slot size from the utility-dominant set (its maximum request length, so
+// no utility-dominant request is ever discarded by the slot constraint),
+// then re-pack each row's candidates into slots greedily. Candidates longer
+// than the slot size are dropped back to the pending pool — the capacity
+// trade-off §5.3 describes ("a smaller slot can eliminate more redundancy,
+// but can accommodate less requests").
+type SlottedDAS struct {
+	DAS DAS
+}
+
+// NewSlottedDAS returns SlottedDAS with the default η = q = ½.
+func NewSlottedDAS() *SlottedDAS { return &SlottedDAS{DAS: *NewDAS()} }
+
+// Name implements Scheduler.
+func (s *SlottedDAS) Name() string { return "SlottedDAS" }
+
+// Schedule implements Algorithm 2.
+func (s *SlottedDAS) Schedule(now float64, pending []*Request, B, L int) Decision {
+	// Line 2: invoke DAS.
+	base := s.DAS.Schedule(now, pending, B, L)
+
+	// Lines 3–4: slot size = max length in the utility-dominant set.
+	// When DAS finished via the everything-fits shortcut, the dominant set
+	// is empty; fall back to the longest chosen request so nothing drops.
+	z := 0
+	for _, r := range base.UtilityDominant {
+		if r.Len > z {
+			z = r.Len
+		}
+	}
+	if z == 0 {
+		for _, r := range base.Chosen() {
+			if r.Len > z {
+				z = r.Len
+			}
+		}
+	}
+	if z == 0 || z > L {
+		z = L
+	}
+
+	// Lines 5–7: divide each row into ⌊L/z⌋ slots and place the row's
+	// candidates greedily, preserving DAS's priority order.
+	slotsPerRow := L / z
+	out := Decision{
+		Rows:            make([][]*Request, len(base.Rows)),
+		UtilityDominant: base.UtilityDominant,
+		SlotSize:        z,
+	}
+	for k, row := range base.Rows {
+		free := make([]int, slotsPerRow)
+		slots := make([][]*Request, slotsPerRow)
+		for i := range free {
+			free[i] = z
+		}
+		for _, r := range row {
+			if r.Len > z {
+				continue // dropped back to pending by omission
+			}
+			for si := range free {
+				if free[si] >= r.Len {
+					free[si] -= r.Len
+					slots[si] = append(slots[si], r)
+					break
+				}
+			}
+		}
+		// Flatten in slot order so the row's concatenation order matches
+		// the physical slot layout downstream (batch.SlotGroups relies
+		// on slot-ordered rows).
+		for _, s := range slots {
+			out.Rows[k] = append(out.Rows[k], s...)
+		}
+	}
+	return out
+}

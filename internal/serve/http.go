@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// InferRequest is the JSON body of POST /v1/infer.
+type InferRequest struct {
+	// Tokens is the tokenized input (use your own tokenizer, or the
+	// vocab package). Required.
+	Tokens []int `json:"tokens"`
+	// DeadlineMS is the scheduling deadline in milliseconds from receipt.
+	// Defaults to 1000.
+	DeadlineMS int `json:"deadline_ms"`
+}
+
+// InferResponse is the JSON body returned by POST /v1/infer.
+type InferResponse struct {
+	Output    []int   `json:"output"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NewHTTPHandler exposes a server over HTTP:
+//
+//	POST /v1/infer  — submit one request, blocks until the response
+//	GET  /v1/stats  — server counters (serve.Stats)
+//	GET  /healthz   — liveness
+//
+// The handler is a thin, dependency-free front; it does not own the
+// server's lifecycle (call srv.Start/Stop yourself).
+func NewHTTPHandler(srv *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+			return
+		}
+		var req InferRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+			return
+		}
+		if req.DeadlineMS <= 0 {
+			req.DeadlineMS = 1000
+		}
+		ch, err := srv.Submit(req.Tokens, time.Duration(req.DeadlineMS)*time.Millisecond)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrQueueFull) {
+				status = http.StatusTooManyRequests
+			} else if errors.Is(err, ErrServerClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeErr(w, status, err)
+			return
+		}
+		select {
+		case resp := <-ch:
+			switch {
+			case errors.Is(resp.Err, ErrDeadlineExceeded):
+				writeErr(w, http.StatusGatewayTimeout, resp.Err)
+			case resp.Err != nil:
+				writeErr(w, http.StatusInternalServerError, resp.Err)
+			default:
+				writeJSON(w, http.StatusOK, InferResponse{
+					Output:    append([]int{}, resp.Output...),
+					LatencyMS: resp.Served.Sub(resp.Queued).Seconds() * 1000,
+				})
+			}
+		case <-r.Context().Done():
+			// The client went away; the engine result is discarded when
+			// it arrives (the channel is buffered).
+			writeErr(w, http.StatusRequestTimeout, r.Context().Err())
+		}
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		writeJSON(w, http.StatusOK, srv.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tcb/internal/batch"
+	"tcb/internal/engine"
+	"tcb/internal/rng"
+	"tcb/internal/sched"
+)
+
+func httpServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, _ := testServer(t, batch.Concat, sched.NewDAS())
+	srv.Start()
+	ts := httptest.NewServer(NewHTTPHandler(srv))
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Stop()
+	})
+	return srv, ts
+}
+
+func postInfer(t *testing.T, url string, req InferRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHTTPInferRoundTrip(t *testing.T) {
+	_, ts := httpServer(t)
+	src := rng.New(51)
+	tokens := randTokens(src, 6)
+	resp, body := postInfer(t, ts.URL, InferRequest{Tokens: tokens, DeadlineMS: 5000})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out InferResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.LatencyMS < 0 {
+		t.Fatalf("latency %v", out.LatencyMS)
+	}
+}
+
+func TestHTTPInferValidation(t *testing.T) {
+	_, ts := httpServer(t)
+	// Empty tokens.
+	resp, _ := postInfer(t, ts.URL, InferRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty tokens: status %d", resp.StatusCode)
+	}
+	// Oversized request.
+	resp, _ = postInfer(t, ts.URL, InferRequest{Tokens: make([]int, 1000)})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized: status %d", resp.StatusCode)
+	}
+	// Corrupt JSON.
+	r, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt JSON: status %d", r.StatusCode)
+	}
+	// Wrong method.
+	r, err = http.Get(ts.URL + "/v1/infer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET infer: status %d", r.StatusCode)
+	}
+}
+
+func TestHTTPStatsAndHealth(t *testing.T) {
+	_, ts := httpServer(t)
+	src := rng.New(52)
+	postInfer(t, ts.URL, InferRequest{Tokens: randTokens(src, 4), DeadlineMS: 5000})
+
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Submitted < 1 || st.Served < 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	h, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("health status %d", h.StatusCode)
+	}
+}
+
+// flakyRunner fails the first n batch launches, then delegates.
+type flakyRunner struct {
+	real  Runner
+	fails int
+}
+
+func (f *flakyRunner) Run(b *batch.Batch, tokens map[int64][]int) (*engine.Report, error) {
+	if f.fails > 0 {
+		f.fails--
+		return nil, errors.New("injected device failure")
+	}
+	return f.real.Run(b, tokens)
+}
+
+func TestEngineFailureInjection(t *testing.T) {
+	base, _ := testServer(t, batch.Concat, sched.NewDAS())
+	_ = base // build a fresh server around a flaky runner instead
+	cfgSrv, realEngine := testServer(t, batch.Concat, sched.NewDAS())
+	_ = cfgSrv
+	srv, err := New(Config{
+		Engine:    &flakyRunner{real: realEngine, fails: 1},
+		Scheduler: sched.NewDAS(),
+		Scheme:    batch.Concat,
+		B:         2, L: 64,
+		Poll: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	src := rng.New(53)
+	// First request hits the injected failure.
+	ch, err := srv.Submit(randTokens(src, 4), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := <-ch
+	if resp.Err == nil || resp.Err.Error() != "injected device failure" {
+		t.Fatalf("expected injected failure, got %v", resp.Err)
+	}
+	// The server must keep serving afterwards.
+	ch, err = srv.Submit(randTokens(src, 4), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = <-ch
+	if resp.Err != nil {
+		t.Fatalf("server did not recover: %v", resp.Err)
+	}
+	st := srv.Stats()
+	if st.Failed != 1 || st.Served != 1 {
+		t.Fatalf("stats after failure = %+v", st)
+	}
+}
+
+// lossyRunner drops one request's result from the report.
+type lossyRunner struct{ real Runner }
+
+func (l *lossyRunner) Run(b *batch.Batch, tokens map[int64][]int) (*engine.Report, error) {
+	rep, err := l.real.Run(b, tokens)
+	if err != nil || len(rep.Results) == 0 {
+		return rep, err
+	}
+	rep.Results = rep.Results[1:]
+	return rep, nil
+}
+
+func TestEngineLosingResultsSurfaced(t *testing.T) {
+	_, realEngine := testServer(t, batch.Concat, sched.NewDAS())
+	srv, err := New(Config{
+		Engine:    &lossyRunner{real: realEngine},
+		Scheduler: sched.NewDAS(),
+		Scheme:    batch.Concat,
+		B:         1, L: 64,
+		Poll: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+	ch, err := srv.Submit(randTokens(rng.New(54), 4), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := <-ch
+	if resp.Err == nil {
+		t.Fatal("lost result must surface as an error, not hang")
+	}
+	if fmt.Sprint(resp.Err) == "" {
+		t.Fatal("error must be descriptive")
+	}
+}

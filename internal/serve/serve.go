@@ -1,0 +1,358 @@
+// Package serve is the online serving front of TCB (Fig. 3): a goroutine
+// pipeline that accepts requests with deadlines, queues them, invokes the
+// pluggable scheduler whenever the engine is idle, lays the decision out
+// under the configured batching scheme, and runs it on the real Go
+// transformer engine, delivering each response on its own channel.
+//
+// This is the component a downstream user embeds; the discrete-event
+// simulator (package sim) exists only because paper-scale arrival rates
+// outrun a CPU transformer.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tcb/internal/batch"
+	"tcb/internal/engine"
+	"tcb/internal/sched"
+)
+
+// Runner abstracts the inference engine so tests can inject failures and
+// deployments can substitute backends. *engine.Engine implements it.
+type Runner interface {
+	Run(b *batch.Batch, tokens map[int64][]int) (*engine.Report, error)
+}
+
+// Config describes a server.
+type Config struct {
+	Engine    Runner
+	Scheduler sched.Scheduler
+	Scheme    batch.Scheme
+	B, L      int
+	// QueueCap bounds the submission queue; Submit fails fast beyond it.
+	QueueCap int
+	// Poll is how long the scheduler loop sleeps when the queue is empty.
+	Poll time.Duration
+}
+
+// Stats is a point-in-time snapshot of server counters.
+type Stats struct {
+	Submitted int64 // accepted submissions
+	Served    int64 // responses delivered successfully
+	Missed    int64 // deadline expiries in the queue
+	Failed    int64 // engine or internal errors
+	Queued    int   // requests currently waiting
+	Batches   int64 // engine launches
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	ID     int64
+	Output []int
+	Err    error
+	// Queued and Served bracket the request's life inside the server.
+	Queued, Served time.Time
+}
+
+// ErrDeadlineExceeded marks requests that expired in the queue.
+var ErrDeadlineExceeded = errors.New("serve: deadline exceeded before scheduling")
+
+// ErrServerClosed marks requests rejected because the server stopped.
+var ErrServerClosed = errors.New("serve: server closed")
+
+// ErrQueueFull marks submissions beyond QueueCap.
+var ErrQueueFull = errors.New("serve: queue full")
+
+type pending struct {
+	req    *sched.Request
+	tokens []int
+	out    chan Response
+	queued time.Time
+}
+
+// Server is a running TCB serving instance.
+type Server struct {
+	cfg   Config
+	mu    sync.Mutex
+	queue map[int64]*pending
+	next  int64
+	stop  chan struct{}
+	done  chan struct{}
+	base  time.Time
+
+	submitted, served, missed, failed, batches int64
+	draining                                   bool
+}
+
+// New validates cfg and returns an unstarted server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil || cfg.Scheduler == nil {
+		return nil, fmt.Errorf("serve: engine and scheduler are required")
+	}
+	if cfg.B <= 0 || cfg.L <= 0 {
+		return nil, fmt.Errorf("serve: B=%d L=%d must be positive", cfg.B, cfg.L)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4096
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = time.Millisecond
+	}
+	return &Server{
+		cfg:   cfg,
+		queue: make(map[int64]*pending),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		base:  time.Now(),
+	}, nil
+}
+
+// Start launches the scheduling loop.
+func (s *Server) Start() {
+	go s.loop()
+}
+
+// Stop shuts the server down; queued requests fail with ErrServerClosed.
+// It blocks until the loop exits.
+func (s *Server) Stop() {
+	close(s.stop)
+	<-s.done
+}
+
+// Drain stops accepting new submissions, serves everything already queued
+// (or lets it miss its deadline), then shuts down. It blocks until the
+// queue is empty and the loop has exited.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	for {
+		s.mu.Lock()
+		empty := len(s.queue) == 0
+		s.mu.Unlock()
+		if empty {
+			break
+		}
+		time.Sleep(s.cfg.Poll)
+	}
+	s.Stop()
+}
+
+// Submit enqueues a request that must be scheduled within the given
+// deadline from now. The response arrives on the returned channel exactly
+// once.
+func (s *Server) Submit(tokens []int, deadline time.Duration) (<-chan Response, error) {
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("serve: empty request")
+	}
+	if len(tokens) > s.cfg.L {
+		return nil, fmt.Errorf("serve: request of %d tokens exceeds row capacity %d", len(tokens), s.cfg.L)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.stop:
+		return nil, ErrServerClosed
+	default:
+	}
+	if s.draining {
+		return nil, ErrServerClosed
+	}
+	if len(s.queue) >= s.cfg.QueueCap {
+		return nil, ErrQueueFull
+	}
+	s.next++
+	id := s.next
+	now := s.clock()
+	p := &pending{
+		req: &sched.Request{
+			ID:       id,
+			Arrival:  now,
+			Deadline: now + deadline.Seconds(),
+			Len:      len(tokens),
+		},
+		tokens: tokens,
+		out:    make(chan Response, 1),
+		queued: time.Now(),
+	}
+	s.queue[id] = p
+	s.submitted++
+	return p.out, nil
+}
+
+// Stats returns a snapshot of server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Submitted: s.submitted,
+		Served:    s.served,
+		Missed:    s.missed,
+		Failed:    s.failed,
+		Queued:    len(s.queue),
+		Batches:   s.batches,
+	}
+}
+
+// QueueLen returns the number of requests waiting.
+func (s *Server) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// clock returns seconds since server construction (the scheduler's time
+// base).
+func (s *Server) clock() float64 { return time.Since(s.base).Seconds() }
+
+func (s *Server) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			s.failAll(ErrServerClosed)
+			return
+		default:
+		}
+		batchReady := s.scheduleOnce()
+		if !batchReady {
+			select {
+			case <-s.stop:
+				s.failAll(ErrServerClosed)
+				return
+			case <-time.After(s.cfg.Poll):
+			}
+		}
+	}
+}
+
+// scheduleOnce runs one scheduler+engine round. It returns false when the
+// queue offered nothing to run.
+func (s *Server) scheduleOnce() bool {
+	now := s.clock()
+
+	s.mu.Lock()
+	var pool []*sched.Request
+	for _, p := range s.queue {
+		if p.req.Deadline < now {
+			p.out <- Response{ID: p.req.ID, Err: ErrDeadlineExceeded, Queued: p.queued}
+			delete(s.queue, p.req.ID)
+			s.missed++
+			continue
+		}
+		pool = append(pool, p.req)
+	}
+	if len(pool) == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	dec := s.cfg.Scheduler.Schedule(now, pool, s.cfg.B, s.cfg.L)
+	chosen := dec.Chosen()
+	if len(chosen) == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	selected := make([]*pending, 0, len(chosen))
+	tokens := make(map[int64][]int, len(chosen))
+	for _, r := range chosen {
+		p := s.queue[r.ID]
+		selected = append(selected, p)
+		tokens[r.ID] = p.tokens
+		delete(s.queue, r.ID)
+	}
+	s.mu.Unlock()
+
+	b := s.layout(dec)
+	rep, err := s.cfg.Engine.Run(b, tokens)
+	served := time.Now()
+	s.mu.Lock()
+	s.batches++
+	s.mu.Unlock()
+	if err != nil {
+		s.mu.Lock()
+		s.failed += int64(len(selected))
+		s.mu.Unlock()
+		for _, p := range selected {
+			p.out <- Response{ID: p.req.ID, Err: err, Queued: p.queued, Served: served}
+		}
+		return true
+	}
+	byID := make(map[int64]engine.Result, len(rep.Results))
+	for _, r := range rep.Results {
+		byID[r.ID] = r
+	}
+	var okCount, lost int64
+	for _, p := range selected {
+		r, ok := byID[p.req.ID]
+		if !ok {
+			lost++
+			p.out <- Response{ID: p.req.ID, Err: fmt.Errorf("serve: request %d lost by engine", p.req.ID), Queued: p.queued, Served: served}
+			continue
+		}
+		okCount++
+		p.out <- Response{ID: p.req.ID, Output: r.Output, Queued: p.queued, Served: served}
+	}
+	s.mu.Lock()
+	s.served += okCount
+	s.failed += lost
+	s.mu.Unlock()
+	return true
+}
+
+// layout converts a decision to a batch under the configured scheme.
+func (s *Server) layout(dec sched.Decision) *batch.Batch {
+	items := make([]batch.Item, 0, len(dec.Chosen()))
+	for _, r := range dec.Chosen() {
+		items = append(items, batch.Item{ID: r.ID, Len: r.Len})
+	}
+	switch s.cfg.Scheme {
+	case batch.Naive:
+		b, _ := batch.PackNaive(items, len(items), s.cfg.L)
+		return b
+	case batch.SlottedConcat:
+		// SlottedDAS emits slot-ordered feasible rows; adopt them directly
+		// so no chosen request can be dropped between decision and launch.
+		z := dec.SlotSize
+		if z <= 0 {
+			z = s.cfg.L
+		}
+		b := &batch.Batch{Scheme: batch.SlottedConcat, SlotSize: z}
+		for _, row := range dec.Rows {
+			if len(row) == 0 {
+				continue
+			}
+			r := batch.Row{PadTo: s.cfg.L}
+			for _, req := range row {
+				r.Items = append(r.Items, batch.Item{ID: req.ID, Len: req.Len})
+			}
+			b.Rows = append(b.Rows, r)
+		}
+		return b
+	default:
+		b := &batch.Batch{Scheme: batch.Concat}
+		for _, row := range dec.Rows {
+			if len(row) == 0 {
+				continue
+			}
+			r := batch.Row{PadTo: s.cfg.L}
+			for _, req := range row {
+				r.Items = append(r.Items, batch.Item{ID: req.ID, Len: req.Len})
+			}
+			b.Rows = append(b.Rows, r)
+		}
+		return b
+	}
+}
+
+func (s *Server) failAll(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, p := range s.queue {
+		p.out <- Response{ID: id, Err: err, Queued: p.queued}
+		delete(s.queue, id)
+		s.failed++
+	}
+}

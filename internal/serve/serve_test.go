@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tcb/internal/batch"
+	"tcb/internal/engine"
+	"tcb/internal/model"
+	"tcb/internal/rng"
+	"tcb/internal/sched"
+	"tcb/internal/vocab"
+)
+
+const testVocab = 60
+
+func testServer(t *testing.T, scheme batch.Scheme, scheduler sched.Scheduler) (*Server, *engine.Engine) {
+	t.Helper()
+	cfg := model.Config{
+		VocabSize: testVocab, DModel: 32, NumHeads: 4, DFF: 64,
+		EncLayers: 1, DecLayers: 1, MaxLen: 256, Eps: 1e-5,
+	}
+	e := engine.New(model.New(cfg, 5), 3)
+	s, err := New(Config{
+		Engine: e, Scheduler: scheduler, Scheme: scheme,
+		B: 4, L: 64, Poll: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, e
+}
+
+func randTokens(src *rng.Source, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = src.IntRange(vocab.FirstWordID, testVocab-1)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing engine/scheduler must fail")
+	}
+	cfg := model.TestConfig(testVocab)
+	e := engine.New(model.New(cfg, 1), 2)
+	if _, err := New(Config{Engine: e, Scheduler: sched.FCFS{}, B: 0, L: 10}); err == nil {
+		t.Fatal("B=0 must fail")
+	}
+}
+
+func TestServeRoundTrip(t *testing.T) {
+	s, e := testServer(t, batch.Concat, sched.NewDAS())
+	s.Start()
+	defer s.Stop()
+
+	src := rng.New(11)
+	type sub struct {
+		tokens []int
+		ch     <-chan Response
+	}
+	var subs []sub
+	for i := 0; i < 6; i++ {
+		toks := randTokens(src, src.IntRange(2, 10))
+		ch, err := s.Submit(toks, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub{toks, ch})
+	}
+	for i, sb := range subs {
+		select {
+		case resp := <-sb.ch:
+			if resp.Err != nil {
+				t.Fatalf("request %d failed: %v", i, resp.Err)
+			}
+			// Server output must equal standalone inference.
+			solo, err := e.RunSingle(1000+int64(i), sb.tokens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Output) != len(solo.Output) {
+				t.Fatalf("request %d: served %v vs solo %v", i, resp.Output, solo.Output)
+			}
+			for j := range resp.Output {
+				if resp.Output[j] != solo.Output[j] {
+					t.Fatalf("request %d token %d differs", i, j)
+				}
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("request %d timed out", i)
+		}
+	}
+}
+
+func TestServeSlottedScheme(t *testing.T) {
+	s, _ := testServer(t, batch.SlottedConcat, sched.NewSlottedDAS())
+	s.Start()
+	defer s.Stop()
+
+	src := rng.New(12)
+	var chans []<-chan Response
+	for i := 0; i < 5; i++ {
+		ch, err := s.Submit(randTokens(src, src.IntRange(2, 8)), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	for i, ch := range chans {
+		select {
+		case resp := <-ch:
+			if resp.Err != nil {
+				t.Fatalf("request %d failed: %v", i, resp.Err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("request %d timed out", i)
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, _ := testServer(t, batch.Concat, sched.NewDAS())
+	if _, err := s.Submit(nil, time.Second); err == nil {
+		t.Fatal("empty request must fail")
+	}
+	if _, err := s.Submit(make([]int, 1000), time.Second); err == nil {
+		t.Fatal("overlong request must fail")
+	}
+}
+
+func TestDeadlineExpiry(t *testing.T) {
+	// Server not started: the queued request must expire once started.
+	s, _ := testServer(t, batch.Concat, sched.NewDAS())
+	ch, err := s.Submit(randTokens(rng.New(13), 5), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the deadline lapse before starting
+	s.Start()
+	defer s.Stop()
+	select {
+	case resp := <-ch:
+		if resp.Err != ErrDeadlineExceeded {
+			t.Fatalf("err = %v, want ErrDeadlineExceeded", resp.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("expired request never resolved")
+	}
+}
+
+func TestStopFailsQueued(t *testing.T) {
+	s, _ := testServer(t, batch.Concat, sched.NewDAS())
+	// Enqueue without starting, then start+stop quickly: any queued request
+	// must resolve with some terminal status, not hang.
+	ch, err := s.Submit(randTokens(rng.New(14), 5), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	s.Stop()
+	select {
+	case resp := <-ch:
+		if resp.Err != nil && resp.Err != ErrServerClosed {
+			t.Fatalf("unexpected err: %v", resp.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request hung across Stop")
+	}
+	// Submissions after stop fail fast.
+	if _, err := s.Submit(randTokens(rng.New(15), 3), time.Second); err != ErrServerClosed {
+		t.Fatalf("submit after stop = %v, want ErrServerClosed", err)
+	}
+}
+
+func TestQueueCap(t *testing.T) {
+	cfg := model.Config{
+		VocabSize: testVocab, DModel: 16, NumHeads: 2, DFF: 32,
+		EncLayers: 1, DecLayers: 1, MaxLen: 64, Eps: 1e-5,
+	}
+	e := engine.New(model.New(cfg, 6), 1)
+	s, err := New(Config{
+		Engine: e, Scheduler: sched.NewDAS(), Scheme: batch.Concat,
+		B: 1, L: 32, QueueCap: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(16)
+	// Not started: queue only fills.
+	if _, err := s.Submit(randTokens(src, 3), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(randTokens(src, 3), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(randTokens(src, 3), time.Hour); err != ErrQueueFull {
+		t.Fatalf("third submit = %v, want ErrQueueFull", err)
+	}
+	if s.QueueLen() != 2 {
+		t.Fatalf("queue len = %d", s.QueueLen())
+	}
+}
+
+func TestDrainServesQueuedThenRejects(t *testing.T) {
+	s, _ := testServer(t, batch.Concat, sched.NewDAS())
+	src := rng.New(60)
+	var chans []<-chan Response
+	for i := 0; i < 4; i++ {
+		ch, err := s.Submit(randTokens(src, 4), 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	s.Start()
+	done := make(chan struct{})
+	go func() {
+		s.Drain()
+		close(done)
+	}()
+	for i, ch := range chans {
+		select {
+		case resp := <-ch:
+			if resp.Err != nil {
+				t.Fatalf("queued request %d failed during drain: %v", i, resp.Err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("request %d hung during drain", i)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain never returned")
+	}
+	if _, err := s.Submit(randTokens(src, 3), time.Second); err != ErrServerClosed {
+		t.Fatalf("submit after drain = %v, want ErrServerClosed", err)
+	}
+	st := s.Stats()
+	if st.Served != 4 || st.Queued != 0 {
+		t.Fatalf("stats after drain = %+v", st)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s, _ := testServer(t, batch.Concat, sched.NewDAS())
+	s.Start()
+	defer s.Stop()
+	src := rng.New(61)
+	ch, err := s.Submit(randTokens(src, 5), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ch
+	st := s.Stats()
+	if st.Submitted != 1 || st.Served != 1 || st.Batches < 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentSubmitStress(t *testing.T) {
+	s, _ := testServer(t, batch.Concat, sched.NewDAS())
+	s.Start()
+	defer s.Stop()
+	const clients = 16
+	const perClient = 4
+	errs := make(chan error, clients*perClient)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			src := rng.New(uint64(c) + 100)
+			for i := 0; i < perClient; i++ {
+				ch, err := s.Submit(randTokens(src, src.IntRange(2, 10)), 10*time.Second)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp := <-ch
+				errs <- resp.Err
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("stress request failed: %v", err)
+		}
+	}
+	st := s.Stats()
+	if st.Served != clients*perClient {
+		t.Fatalf("served = %d, want %d", st.Served, clients*perClient)
+	}
+}

@@ -1,0 +1,294 @@
+// Package sim is the discrete-event serving simulator behind the paper's
+// throughput and utility experiments (Figs. 9–12, 15–16). It replays a
+// request trace against a (scheduler, batching scheme) pair: at every
+// engine slot the scheduler selects requests from the pending pool, the
+// batcher lays them out under its scheme, and the cost model charges the
+// batch its simulated execution time, which advances the clock. Requests
+// count toward utility and throughput when they are scheduled by their
+// deadline (Eq. 9/12); requests whose deadlines pass while queued expire.
+//
+// The mechanism that produces the paper's saturation behaviour falls out
+// naturally: schemes with more padding redundancy take longer per batch,
+// serve fewer requests per second, grow their queues, and lose utility to
+// deadline expiry at lower arrival rates.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tcb/internal/batch"
+	"tcb/internal/cost"
+	"tcb/internal/sched"
+	"tcb/internal/stats"
+)
+
+// System describes one serving configuration under test.
+type System struct {
+	Name      string
+	Scheduler sched.Scheduler
+	Scheme    batch.Scheme
+	B         int // batch rows (scheduler capacity per slot)
+	L         int // row capacity in tokens
+	Cost      cost.Params
+	// TurboOverhead is the DP overhead (token-equivalents) for the Turbo
+	// scheme's split; ignored otherwise. Zero uses a sensible default
+	// derived from the cost params.
+	TurboOverhead float64
+	// EarlyCleaning enables §4.2.2's optimization for SlottedConcat: the
+	// next batch's data loading overlaps the current batch's decode tail
+	// once the first slot frees, reducing effective batch time by
+	// Cost.OverlapSavings. Ignored for other schemes (they cannot free
+	// per-request memory mid-batch).
+	EarlyCleaning bool
+	// Devices is the number of identical accelerators; each scheduler
+	// decision is dispatched to the earliest-free device. 0 means 1.
+	// This models the multi-GPU scale-out a production deployment of TCB
+	// would add (the paper evaluates a single V100).
+	Devices int
+}
+
+// Validate reports configuration problems.
+func (s System) Validate() error {
+	if s.Scheduler == nil {
+		return fmt.Errorf("sim: %s has no scheduler", s.Name)
+	}
+	if s.B <= 0 || s.L <= 0 {
+		return fmt.Errorf("sim: %s has B=%d L=%d", s.Name, s.B, s.L)
+	}
+	return s.Cost.Validate()
+}
+
+// Metrics aggregates one simulation run.
+type Metrics struct {
+	System       string
+	Generated    int     // requests in the trace
+	Scheduled    int     // requests scheduled by their deadline
+	Expired      int     // requests that died in the queue
+	Utility      float64 // Σ 1/lₙ over scheduled requests (Eq. 9)
+	SimSeconds   float64 // simulated wall clock at the end of the run
+	Batches      int     // engine launches (sub-batches included)
+	BusySeconds  float64 // simulated seconds the engine computed
+	UsedTokens   int64
+	PaddedTokens int64
+	// SchedulerWall accumulates *real* wall-clock spent inside
+	// Scheduler.Schedule, for the Fig. 16 overhead experiment.
+	SchedulerWall time.Duration
+	SchedulerRuns int
+	// Latency of scheduled requests (completion − arrival), simulated.
+	Latency stats.Sample
+	// Backlog samples the pending-queue depth at every scheduling
+	// decision; its growth past saturation is the mechanism behind the
+	// paper's flattening throughput curves.
+	Backlog stats.Running
+}
+
+// Throughput returns scheduled responses per simulated second.
+func (m *Metrics) Throughput() float64 {
+	if m.SimSeconds == 0 {
+		return 0
+	}
+	return float64(m.Scheduled) / m.SimSeconds
+}
+
+// Utilization returns the fraction of processed tokens that were real.
+func (m *Metrics) Utilization() float64 {
+	total := m.UsedTokens + m.PaddedTokens
+	if total == 0 {
+		return 1
+	}
+	return float64(m.UsedTokens) / float64(total)
+}
+
+// Run simulates sys over the trace (sorted by arrival) and returns metrics.
+func Run(sys System, trace []*sched.Request) (*Metrics, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	reqs := append([]*sched.Request(nil), trace...)
+	sort.SliceStable(reqs, func(a, b int) bool { return reqs[a].Arrival < reqs[b].Arrival })
+
+	m := &Metrics{System: sys.Name, Generated: len(reqs)}
+	var pool []*sched.Request
+	next := 0 // next arrival index
+	now := 0.0
+
+	devices := sys.Devices
+	if devices <= 0 {
+		devices = 1
+	}
+	// deviceFree[d] is the simulated time device d finishes its batch.
+	deviceFree := make([]float64, devices)
+
+	for {
+		// Decisions happen when a device is free; jump to that moment.
+		dev := 0
+		for d := 1; d < devices; d++ {
+			if deviceFree[d] < deviceFree[dev] {
+				dev = d
+			}
+		}
+		if deviceFree[dev] > now {
+			now = deviceFree[dev]
+		}
+		// Admit arrivals up to the current time.
+		for next < len(reqs) && reqs[next].Arrival <= now {
+			pool = append(pool, reqs[next])
+			next++
+		}
+		alive, expired, _ := sched.Expire(pool, now)
+		m.Expired += len(expired)
+		pool = alive
+		if len(pool) == 0 {
+			if next >= len(reqs) {
+				break // drained
+			}
+			now = reqs[next].Arrival // idle-skip to the next arrival
+			continue
+		}
+
+		m.Backlog.Add(float64(len(pool)))
+
+		// Scheduling decision (real wall time recorded for Fig. 16).
+		t0 := time.Now()
+		dec := sys.Scheduler.Schedule(now, pool, sys.B, sys.L)
+		m.SchedulerWall += time.Since(t0)
+		m.SchedulerRuns++
+
+		chosen := dec.Chosen()
+		if len(chosen) == 0 {
+			// The scheduler refused everything pending (requests longer
+			// than L, or longer than the slot size under a slotted
+			// policy). Advance time until the next arrival or the
+			// earliest refusal's deadline so the refused requests expire
+			// instead of livelocking the loop.
+			earliest := pool[0].Deadline
+			for _, r := range pool[1:] {
+				if r.Deadline < earliest {
+					earliest = r.Deadline
+				}
+			}
+			advanceTo := earliest + 1e-9
+			if next < len(reqs) && reqs[next].Arrival < advanceTo {
+				advanceTo = reqs[next].Arrival
+			}
+			now = advanceTo
+			continue
+		}
+
+		elapsed, used, padded, launches := executeDecision(sys, dec)
+		m.Batches += launches
+		m.BusySeconds += elapsed
+		m.UsedTokens += int64(used)
+		m.PaddedTokens += int64(padded)
+
+		// Scheduled requests succeed (they were packed before deadline).
+		for _, r := range chosen {
+			m.Scheduled++
+			m.Utility += r.Utility()
+			m.Latency.Add(now + elapsed - r.Arrival)
+		}
+		chosenSet := make(map[int64]bool, len(chosen))
+		for _, r := range chosen {
+			chosenSet[r.ID] = true
+		}
+		var keep []*sched.Request
+		for _, r := range pool {
+			if !chosenSet[r.ID] {
+				keep = append(keep, r)
+			}
+		}
+		pool = keep
+		// The chosen device is busy until the batch completes; the next
+		// decision happens when the earliest device frees (top of loop).
+		deviceFree[dev] = now + elapsed
+	}
+	// The run ends when the last busy device finishes.
+	for _, f := range deviceFree {
+		if f > now {
+			now = f
+		}
+	}
+	m.SimSeconds = now
+	return m, nil
+}
+
+// executeDecision lays the decision out under the system's scheme and
+// returns (simulated seconds, used tokens, padded tokens, launches).
+func executeDecision(sys System, dec sched.Decision) (secs float64, used, padded, launches int) {
+	items := make([]batch.Item, 0, len(dec.Chosen()))
+	for _, r := range dec.Chosen() {
+		items = append(items, batch.Item{ID: r.ID, Len: r.Len})
+	}
+	switch sys.Scheme {
+	case batch.Naive:
+		// The scheduled set is processed in consecutive naive launches of
+		// at most B single-request rows each.
+		rest := items
+		for len(rest) > 0 {
+			var b *batch.Batch
+			b, rest = batch.PackNaive(rest, sys.B, sys.L)
+			if b.NumItems() == 0 {
+				break // only unservable leftovers
+			}
+			secs += sys.Cost.BatchTime(b)
+			used += b.UsedTokens()
+			padded += b.PaddedTokens()
+			launches++
+		}
+	case batch.Turbo:
+		overhead := sys.TurboOverhead
+		if overhead == 0 && sys.Cost.PerTokenSeconds > 0 {
+			// Express the launch overhead in padded-token equivalents so
+			// the DP trades padding against launches consistently.
+			overhead = sys.Cost.PerBatchSeconds / sys.Cost.PerTokenSeconds
+		}
+		plan, _ := batch.PackTurbo(items, batch.TurboParams{
+			MaxRows: sys.B, MaxLen: sys.L, Overhead: overhead,
+		})
+		for _, b := range plan {
+			secs += sys.Cost.BatchTime(b)
+			used += b.UsedTokens()
+			padded += b.PaddedTokens()
+			launches++
+		}
+	case batch.SlottedConcat:
+		b := decisionToBatch(dec, sys.L, dec.SlotSize)
+		secs = sys.Cost.BatchTime(b)
+		if sys.EarlyCleaning {
+			secs -= sys.Cost.OverlapSavings(b)
+		}
+		used = b.UsedTokens()
+		padded = b.SlottedTokens() - b.UsedTokens()
+		launches = 1
+	default: // batch.Concat
+		b := decisionToBatch(dec, sys.L, 0)
+		secs = sys.Cost.BatchTime(b)
+		used = b.UsedTokens()
+		padded = b.PaddedTokens()
+		launches = 1
+	}
+	return secs, used, padded, launches
+}
+
+// decisionToBatch converts the scheduler's per-row assignment directly
+// into a batch layout (the scheduler already respected row capacities).
+func decisionToBatch(dec sched.Decision, L, slotSize int) *batch.Batch {
+	scheme := batch.Concat
+	if slotSize > 0 {
+		scheme = batch.SlottedConcat
+	}
+	b := &batch.Batch{Scheme: scheme, SlotSize: slotSize}
+	for _, row := range dec.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		r := batch.Row{PadTo: L}
+		for _, req := range row {
+			r.Items = append(r.Items, batch.Item{ID: req.ID, Len: req.Len})
+		}
+		b.Rows = append(b.Rows, r)
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+package tensor
+
+import "fmt"
+
+// blockSize is the tile edge for the blocked kernel: 64×64 float32 tiles
+// (16 KiB per operand tile) fit comfortably in L1/L2 alongside the
+// accumulator tile.
+const blockSize = 64
+
+// matMulThreshold is the operand size (in total multiply-adds) above which
+// MatMulInto switches to the blocked kernel. Below it, the streaming ikj
+// kernel's lower bookkeeping wins.
+const matMulThreshold = 1 << 21 // ~2M MACs ≈ 128³
+
+// MatMulBlocked computes dst = a × b with cache-blocked tiling. Exposed for
+// benchmarks and tests; MatMulInto dispatches to it automatically for large
+// operands.
+func MatMulBlocked(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulBlocked inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulBlocked dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	n, k, p := a.Rows, a.Cols, b.Cols
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	// Parallelize over row-tiles; each worker owns disjoint dst rows.
+	nTiles := (n + blockSize - 1) / blockSize
+	parallelRows(nTiles, 1, func(tLo, tHi int) {
+		for ti := tLo; ti < tHi; ti++ {
+			i0 := ti * blockSize
+			i1 := i0 + blockSize
+			if i1 > n {
+				i1 = n
+			}
+			for k0 := 0; k0 < k; k0 += blockSize {
+				k1 := k0 + blockSize
+				if k1 > k {
+					k1 = k
+				}
+				for j0 := 0; j0 < p; j0 += blockSize {
+					j1 := j0 + blockSize
+					if j1 > p {
+						j1 = p
+					}
+					// Micro-kernel on the (i, k) × (k, j) tile pair.
+					for i := i0; i < i1; i++ {
+						arow := a.Data[i*k : (i+1)*k]
+						drow := dst.Data[i*p : (i+1)*p]
+						for kk := k0; kk < k1; kk++ {
+							av := arow[kk]
+							if av == 0 {
+								continue
+							}
+							brow := b.Data[kk*p : (kk+1)*p]
+							for j := j0; j < j1; j++ {
+								drow[j] += av * brow[j]
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// mulDispatch picks the kernel by problem size.
+func mulDispatch(dst, a, b *Matrix) {
+	if a.Rows*a.Cols*b.Cols >= matMulThreshold {
+		MatMulBlocked(dst, a, b)
+		return
+	}
+	matMulSmall(dst, a, b)
+}

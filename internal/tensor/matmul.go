@@ -1,0 +1,139 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds the parallel fan-out of row-sharded kernels.
+func maxWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// parallelRows runs fn over row ranges [lo, hi) sharded across workers.
+// Small jobs run inline to avoid goroutine overhead.
+func parallelRows(rows int, minRowsPerWorker int, fn func(lo, hi int)) {
+	workers := maxWorkers()
+	if minRowsPerWorker < 1 {
+		minRowsPerWorker = 1
+	}
+	if rows <= minRowsPerWorker || workers == 1 {
+		fn(0, rows)
+		return
+	}
+	if rows/workers < minRowsPerWorker {
+		workers = rows / minRowsPerWorker
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul returns a × b.
+func MatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a × b. dst must be a.Rows×b.Cols and must not
+// alias a or b. Large products dispatch to the cache-blocked kernel.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	mulDispatch(dst, a, b)
+}
+
+// matMulSmall is the streaming ikj kernel for small operands.
+func matMulSmall(dst, a, b *Matrix) {
+	n, k, p := a.Rows, a.Cols, b.Cols
+	parallelRows(n, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*p : (i+1)*p]
+			for j := range drow {
+				drow[j] = 0
+			}
+			// ikj loop order: stream through b row-wise for locality.
+			for kk := 0; kk < k; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[kk*p : (kk+1)*p]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulT returns a × bᵀ. b is given untransposed (rows of b are the columns
+// of the effective right operand), which is the natural layout for attention
+// scores Q·Kᵀ.
+func MatMulT(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	MatMulTInto(out, a, b)
+	return out
+}
+
+// MatMulTInto computes dst = a × bᵀ. dst must be a.Rows×b.Rows.
+func MatMulTInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d != %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	n, k, p := a.Rows, a.Cols, b.Rows
+	parallelRows(n, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*p : (i+1)*p]
+			for j := 0; j < p; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var sum float32
+				for kk, av := range arow {
+					sum += av * brow[kk]
+				}
+				drow[j] = sum
+			}
+		}
+	})
+}
+
+// Transpose returns mᵀ.
+func Transpose(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+// Package tensor provides the dense float32 math substrate used by the TCB
+// transformer engine: row-major matrices, parallel blocked matrix
+// multiplication, softmax, layer normalization and elementwise activations.
+//
+// The package is deliberately small and allocation-conscious: every routine
+// that produces a matrix has an "into" variant so hot loops in the inference
+// engine can reuse buffers. Parallel kernels shard rows across a bounded
+// worker pool sized by GOMAXPROCS.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float32 matrix.
+//
+// The zero value is an empty 0×0 matrix. Data has length Rows*Cols and
+// element (i, j) lives at Data[i*Cols+j].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data as a rows×cols matrix without copying.
+// It panics if len(data) != rows*cols.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float32 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("tensor: row %d out of range %d", i, m.Rows))
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// CopyFrom copies src into m. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape %dx%d != %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element of m to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Slice returns a view-free copy of rows [r0, r1).
+func (m *Matrix) Slice(r0, r1 int) *Matrix {
+	if r0 < 0 || r1 > m.Rows || r0 > r1 {
+		panic(fmt.Sprintf("tensor: Slice [%d,%d) out of range %d", r0, r1, m.Rows))
+	}
+	out := New(r1-r0, m.Cols)
+	copy(out.Data, m.Data[r0*m.Cols:r1*m.Cols])
+	return out
+}
+
+// View returns a sub-matrix sharing storage with m covering rows [r0, r1).
+// Mutations through the view are visible in m.
+func (m *Matrix) View(r0, r1 int) *Matrix {
+	if r0 < 0 || r1 > m.Rows || r0 > r1 {
+		panic(fmt.Sprintf("tensor: View [%d,%d) out of range %d", r0, r1, m.Rows))
+	}
+	return &Matrix{Rows: r1 - r0, Cols: m.Cols, Data: m.Data[r0*m.Cols : r1*m.Cols]}
+}
+
+// Equal reports whether m and other have the same shape and elements.
+func (m *Matrix) Equal(other *Matrix) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if v != other.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether m and other have the same shape and every pair of
+// elements differs by at most tol (absolute) or tol (relative to magnitude).
+func (m *Matrix) AllClose(other *Matrix, tol float64) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		a, b := float64(v), float64(other.Data[i])
+		diff := math.Abs(a - b)
+		if diff > tol && diff > tol*math.Max(math.Abs(a), math.Abs(b)) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between m
+// and other. Shapes must match.
+func (m *Matrix) MaxAbsDiff(other *Matrix) float64 {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	var worst float64
+	for i, v := range m.Data {
+		d := math.Abs(float64(v) - float64(other.Data[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// String renders small matrices for debugging; large matrices are summarized.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.3g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

@@ -1,0 +1,170 @@
+package train
+
+import (
+	"math"
+
+	"tcb/internal/model"
+	"tcb/internal/tensor"
+)
+
+// linBackward propagates dY through y = xW + b: accumulates gW += xᵀ·dY,
+// gB += Σrows dY and returns dX = dY·Wᵀ.
+func linBackward(l *model.Linear, g *linGrad, c *linCache, dY *tensor.Matrix) *tensor.Matrix {
+	gw := tensor.MatMul(tensor.Transpose(c.x), dY)
+	tensor.AddInPlace(g.W, gw)
+	for i := 0; i < dY.Rows; i++ {
+		row := dY.Row(i)
+		for j, v := range row {
+			g.B[j] += v
+		}
+	}
+	return tensor.MatMul(dY, tensor.Transpose(l.W))
+}
+
+// lnBackward propagates dY through y = x̂·g + b with x̂ = (x−μ)/σ.
+func lnBackward(l *model.LayerNorm, g *lnGrad, c *lnCache, dY *tensor.Matrix) *tensor.Matrix {
+	n := dY.Cols
+	dX := tensor.New(dY.Rows, n)
+	for i := 0; i < dY.Rows; i++ {
+		dy := dY.Row(i)
+		xh := c.xhat.Row(i)
+		inv := c.invStd[i]
+		var meanDxh, meanDxhXh float32
+		dxh := make([]float32, n)
+		for j := 0; j < n; j++ {
+			g.Bias[j] += dy[j]
+			g.Gain[j] += dy[j] * xh[j]
+			dxh[j] = dy[j] * l.Gain[j]
+			meanDxh += dxh[j]
+			meanDxhXh += dxh[j] * xh[j]
+		}
+		meanDxh /= float32(n)
+		meanDxhXh /= float32(n)
+		dx := dX.Row(i)
+		for j := 0; j < n; j++ {
+			dx[j] = inv * (dxh[j] - meanDxh - xh[j]*meanDxhXh)
+		}
+	}
+	return dX
+}
+
+// reluBackward zeroes gradient where the pre-activation was non-positive.
+func reluBackward(c *reluCache, dY *tensor.Matrix) *tensor.Matrix {
+	dX := dY.Clone()
+	for i, v := range c.pre.Data {
+		if v <= 0 {
+			dX.Data[i] = 0
+		}
+	}
+	return dX
+}
+
+// attnBackward propagates dOut through multi-head attention, accumulating
+// projection gradients; returns (dXq, dXkv). When the attention is
+// self-attention the caller adds the two.
+func attnBackward(w *model.AttentionWeights, heads int, g *attnGrad, c *attnCache, dOut *tensor.Matrix) (dXq, dXkv *tensor.Matrix) {
+	d := w.WQ.W.Cols
+	dh := d / heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	dConcat := linBackward(w.WO, g.WO, &c.oc, dOut)
+	dQ := tensor.New(c.q.Rows, d)
+	dK := tensor.New(c.k.Rows, d)
+	dV := tensor.New(c.v.Rows, d)
+	for h := 0; h < heads; h++ {
+		c0 := h * dh
+		dOh := cols(dConcat, c0, c0+dh)
+		A := c.probs[h]
+		vh := cols(c.v, c0, c0+dh)
+		// out = A·Vh ⇒ dA = dOh·Vhᵀ, dVh = Aᵀ·dOh.
+		dA := tensor.MatMulT(dOh, vh)
+		dVh := tensor.MatMul(tensor.Transpose(A), dOh)
+		// softmax backward: dS = A ⊙ (dA − rowdot(dA, A)).
+		dS := tensor.New(A.Rows, A.Cols)
+		for i := 0; i < A.Rows; i++ {
+			aRow := A.Row(i)
+			daRow := dA.Row(i)
+			var dot float32
+			for j, a := range aRow {
+				dot += daRow[j] * a
+			}
+			dsRow := dS.Row(i)
+			for j, a := range aRow {
+				dsRow[j] = a * (daRow[j] - dot)
+			}
+		}
+		tensor.Scale(dS, scale)
+		qh := cols(c.q, c0, c0+dh)
+		kh := cols(c.k, c0, c0+dh)
+		dQh := tensor.MatMul(dS, kh)
+		dKh := tensor.MatMul(tensor.Transpose(dS), qh)
+		addCols(dQ, dQh, c0)
+		addCols(dK, dKh, c0)
+		addCols(dV, dVh, c0)
+	}
+	dXq = linBackward(w.WQ, g.WQ, &c.qc, dQ)
+	dXkv = linBackward(w.WK, g.WK, &c.kc, dK)
+	tensor.AddInPlace(dXkv, linBackward(w.WV, g.WV, &c.vc, dV))
+	return dXq, dXkv
+}
+
+// embedBackward scatters dX into the embedding gradient rows.
+func embedBackward(g *Grads, ids []int, dX *tensor.Matrix) {
+	for i, id := range ids {
+		row := g.Embedding.Row(id)
+		for j, v := range dX.Row(i) {
+			row[j] += v
+		}
+	}
+}
+
+// backward propagates dLogits through the tape, accumulating into g, and
+// returns the gradient flowing into the encoder output (already consumed —
+// exposed for tests).
+func backward(m *model.Model, fc *forwardCaches, g *Grads, dLogits *tensor.Matrix) {
+	heads := m.Cfg.NumHeads
+	dy := linBackward(m.P.OutProj, g.OutProj, &fc.outCache, dLogits)
+
+	dEncOut := tensor.New(fc.encOut.Rows, fc.encOut.Cols)
+	for li := len(m.P.Decoder) - 1; li >= 0; li-- {
+		layer := m.P.Decoder[li]
+		gl := g.Decoder[li]
+		c := &fc.decLayers[li]
+		// y3 = LN3(y2 + FFN(y2))
+		dSum := lnBackward(layer.Norm3, gl.Norm3, &c.norm3, dy)
+		dFF := linBackward(layer.FFN.Out, gl.FFNOut, &c.ffnOut, dSum)
+		dFF = reluBackward(&c.relu, dFF)
+		dY2 := linBackward(layer.FFN.In, gl.FFNIn, &c.ffnIn, dFF)
+		tensor.AddInPlace(dY2, dSum)
+		// y2 = LN2(y1 + Cross(y1, encOut))
+		dSum = lnBackward(layer.Norm2, gl.Norm2, &c.norm2, dY2)
+		dY1, dEnc := attnBackward(layer.CrossAttn, heads, gl.CrossAttn, &c.cross, dSum)
+		tensor.AddInPlace(dY1, dSum)
+		tensor.AddInPlace(dEncOut, dEnc)
+		// y1 = LN1(y0 + Self(y0))
+		dSum = lnBackward(layer.Norm1, gl.Norm1, &c.norm1, dY1)
+		dQ, dKV := attnBackward(layer.SelfAttn, heads, gl.SelfAttn, &c.self, dSum)
+		dy = dSum
+		tensor.AddInPlace(dy, dQ)
+		tensor.AddInPlace(dy, dKV)
+	}
+	embedBackward(g, fc.decIn, dy)
+
+	dx := dEncOut
+	for li := len(m.P.Encoder) - 1; li >= 0; li-- {
+		layer := m.P.Encoder[li]
+		gl := g.Encoder[li]
+		c := &fc.encLayers[li]
+		dSum := lnBackward(layer.Norm2, gl.Norm2, &c.norm2, dx)
+		dFF := linBackward(layer.FFN.Out, gl.FFNOut, &c.ffnOut, dSum)
+		dFF = reluBackward(&c.relu, dFF)
+		dX1 := linBackward(layer.FFN.In, gl.FFNIn, &c.ffnIn, dFF)
+		tensor.AddInPlace(dX1, dSum)
+		dSum = lnBackward(layer.Norm1, gl.Norm1, &c.norm1, dX1)
+		dQ, dKV := attnBackward(layer.SelfAttn, heads, gl.SelfAttn, &c.attn, dSum)
+		dx = dSum
+		tensor.AddInPlace(dx, dQ)
+		tensor.AddInPlace(dx, dKV)
+	}
+	embedBackward(g, fc.srcIDs, dx)
+}

@@ -1,0 +1,259 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"tcb/internal/model"
+	"tcb/internal/tensor"
+)
+
+// Caches hold the intermediates the backward pass needs. Training always
+// runs single sequences (one segment per row, dense attention): the
+// ConcatBatching machinery is an inference-time optimization and the
+// equivalence tests guarantee a model trained here serves identically
+// under concatenation.
+
+type linCache struct {
+	x *tensor.Matrix // layer input
+}
+
+type lnCache struct {
+	xhat   *tensor.Matrix // normalized pre-gain activations
+	invStd []float32      // per row
+}
+
+type attnCache struct {
+	xq, xkv *tensor.Matrix // attention inputs
+	q, k, v *tensor.Matrix // projected, full width
+	probs   []*tensor.Matrix
+	concat  *tensor.Matrix // pre-WO head concat
+	qc, kc, vc, oc linCache
+}
+
+type reluCache struct {
+	pre *tensor.Matrix // pre-activation
+}
+
+type encLayerCache struct {
+	attn        attnCache
+	norm1       lnCache
+	ffnIn       linCache
+	relu        reluCache
+	ffnOut      linCache
+	norm2       lnCache
+}
+
+type decLayerCache struct {
+	self        attnCache
+	norm1       lnCache
+	cross       attnCache
+	norm2       lnCache
+	ffnIn       linCache
+	relu        reluCache
+	ffnOut      linCache
+	norm3       lnCache
+}
+
+// linForward computes y = xW + b, caching x.
+func linForward(l *model.Linear, x *tensor.Matrix, c *linCache) *tensor.Matrix {
+	c.x = x
+	return l.Apply(x)
+}
+
+// lnForward normalizes x (returning a new matrix) and caches x̂ and 1/σ.
+func lnForward(l *model.LayerNorm, x *tensor.Matrix, c *lnCache) *tensor.Matrix {
+	n := x.Cols
+	out := tensor.New(x.Rows, n)
+	c.xhat = tensor.New(x.Rows, n)
+	c.invStd = make([]float32, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		var mean float32
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float32(n)
+		var variance float32
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float32(n)
+		inv := 1 / float32(math.Sqrt(float64(variance+l.Eps)))
+		c.invStd[i] = inv
+		xh := c.xhat.Row(i)
+		o := out.Row(i)
+		for j, v := range row {
+			xh[j] = (v - mean) * inv
+			o[j] = xh[j]*l.Gain[j] + l.Bias[j]
+		}
+	}
+	return out
+}
+
+// attnForward runs multi-head attention with an optional additive mask,
+// caching everything backward needs.
+func attnForward(w *model.AttentionWeights, heads int, xq, xkv *tensor.Matrix, mask *tensor.Matrix, c *attnCache) *tensor.Matrix {
+	d := w.WQ.W.Cols
+	dh := d / heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	c.xq, c.xkv = xq, xkv
+	c.q = linForward(w.WQ, xq, &c.qc)
+	c.k = linForward(w.WK, xkv, &c.kc)
+	c.v = linForward(w.WV, xkv, &c.vc)
+	c.concat = tensor.New(xq.Rows, d)
+	c.probs = make([]*tensor.Matrix, heads)
+	for h := 0; h < heads; h++ {
+		c0 := h * dh
+		qh := cols(c.q, c0, c0+dh)
+		kh := cols(c.k, c0, c0+dh)
+		vh := cols(c.v, c0, c0+dh)
+		scores := tensor.MatMulT(qh, kh)
+		tensor.Scale(scores, scale)
+		if mask != nil {
+			tensor.AddInPlace(scores, mask)
+		}
+		tensor.SoftmaxRows(scores)
+		c.probs[h] = scores
+		out := tensor.MatMul(scores, vh)
+		setCols(c.concat, out, c0)
+	}
+	return linForward(w.WO, c.concat, &c.oc)
+}
+
+// reluForward caches the pre-activation and applies ReLU out of place.
+func reluForward(x *tensor.Matrix, c *reluCache) *tensor.Matrix {
+	c.pre = x
+	out := x.Clone()
+	tensor.ReLU(out)
+	return out
+}
+
+// cols copies columns [c0, c1) of m.
+func cols(m *tensor.Matrix, c0, c1 int) *tensor.Matrix {
+	out := tensor.New(m.Rows, c1-c0)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[c0:c1])
+	}
+	return out
+}
+
+// setCols writes src into columns starting at c0 of dst.
+func setCols(dst, src *tensor.Matrix, c0 int) {
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Row(i)[c0:c0+src.Cols], src.Row(i))
+	}
+}
+
+// addCols accumulates src into columns starting at c0 of dst.
+func addCols(dst, src *tensor.Matrix, c0 int) {
+	for i := 0; i < src.Rows; i++ {
+		d := dst.Row(i)[c0 : c0+src.Cols]
+		for j, v := range src.Row(i) {
+			d[j] += v
+		}
+	}
+}
+
+// causalMask returns the lower-triangular additive mask for n positions.
+func causalMask(n int) *tensor.Matrix {
+	m := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := i + 1; j < n; j++ {
+			row[j] = tensor.NegInf
+		}
+	}
+	return m
+}
+
+// embedForward looks up embeddings and adds positional encoding.
+func embedForward(p *model.Params, ids []int) (*tensor.Matrix, error) {
+	for _, id := range ids {
+		if id < 0 || id >= p.Embedding.Rows {
+			return nil, fmt.Errorf("train: token %d out of vocabulary", id)
+		}
+	}
+	if len(ids) > p.PosEnc.Rows {
+		return nil, fmt.Errorf("train: sequence of %d exceeds MaxLen %d", len(ids), p.PosEnc.Rows)
+	}
+	x := p.Embed(ids)
+	for i := range ids {
+		row := x.Row(i)
+		pe := p.PosEnc.Row(i)
+		for j := range row {
+			row[j] += pe[j]
+		}
+	}
+	return x, nil
+}
+
+// forwardCaches bundles one example's full forward tape.
+type forwardCaches struct {
+	srcIDs, decIn []int
+	encX          []*tensor.Matrix // input to each encoder layer
+	encLayers     []encLayerCache
+	encOut        *tensor.Matrix
+	decX          []*tensor.Matrix // input to each decoder layer
+	decLayers     []decLayerCache
+	decOut        *tensor.Matrix
+	outCache      linCache
+	logits        *tensor.Matrix
+}
+
+// forward runs the full teacher-forced pass: encode src, decode decIn.
+func forward(m *model.Model, src, decIn []int) (*forwardCaches, error) {
+	fc := &forwardCaches{srcIDs: src, decIn: decIn}
+	x, err := embedForward(m.P, src)
+	if err != nil {
+		return nil, err
+	}
+	heads := m.Cfg.NumHeads
+	fc.encLayers = make([]encLayerCache, len(m.P.Encoder))
+	for li, layer := range m.P.Encoder {
+		fc.encX = append(fc.encX, x)
+		c := &fc.encLayers[li]
+		attn := attnForward(layer.SelfAttn, heads, x, x, nil, &c.attn)
+		x = lnForward(layer.Norm1, tensor.Add(x, attn), &c.norm1)
+		h := linForward(layer.FFN.In, x, &c.ffnIn)
+		h = reluForward(h, &c.relu)
+		ff := linForward(layer.FFN.Out, h, &c.ffnOut)
+		x = lnForward(layer.Norm2, tensor.Add(fcLNInput(c), ff), &c.norm2)
+	}
+	fc.encOut = x
+
+	y, err := embedForward(m.P, decIn)
+	if err != nil {
+		return nil, err
+	}
+	mask := causalMask(len(decIn))
+	fc.decLayers = make([]decLayerCache, len(m.P.Decoder))
+	for li, layer := range m.P.Decoder {
+		fc.decX = append(fc.decX, y)
+		c := &fc.decLayers[li]
+		attn := attnForward(layer.SelfAttn, heads, y, y, mask, &c.self)
+		y = lnForward(layer.Norm1, tensor.Add(y, attn), &c.norm1)
+		cross := attnForward(layer.CrossAttn, heads, y, fc.encOut, nil, &c.cross)
+		y = lnForward(layer.Norm2, tensor.Add(dcNorm1Out(c), cross), &c.norm2)
+		h := linForward(layer.FFN.In, y, &c.ffnIn)
+		h = reluForward(h, &c.relu)
+		ff := linForward(layer.FFN.Out, h, &c.ffnOut)
+		y = lnForward(layer.Norm3, tensor.Add(dcNorm2Out(c), ff), &c.norm3)
+	}
+	fc.decOut = y
+	fc.logits = linForward(m.P.OutProj, y, &fc.outCache)
+	return fc, nil
+}
+
+// fcLNInput returns the encoder layer's post-Norm1 activations, which are
+// also the FFN block's residual input (cached as the FFN-In linear input).
+func fcLNInput(c *encLayerCache) *tensor.Matrix { return c.ffnIn.x }
+
+// dcNorm1Out returns the decoder layer's post-Norm1 activations (the cross
+// attention's query input).
+func dcNorm1Out(c *decLayerCache) *tensor.Matrix { return c.cross.xq }
+
+// dcNorm2Out returns the decoder layer's post-Norm2 activations (the FFN
+// block's input).
+func dcNorm2Out(c *decLayerCache) *tensor.Matrix { return c.ffnIn.x }

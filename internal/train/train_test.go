@@ -1,0 +1,217 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"tcb/internal/model"
+	"tcb/internal/rng"
+	"tcb/internal/vocab"
+)
+
+func tinyModel() *model.Model {
+	cfg := model.Config{
+		VocabSize: 12, DModel: 8, NumHeads: 2, DFF: 16,
+		EncLayers: 1, DecLayers: 1, MaxLen: 16, Eps: 1e-5,
+	}
+	return model.New(cfg, 99)
+}
+
+func tinyExample() Example {
+	return Example{
+		Src: []int{vocab.FirstWordID, vocab.FirstWordID + 2, vocab.FirstWordID + 1},
+		Tgt: []int{vocab.FirstWordID + 1, vocab.FirstWordID + 3},
+	}
+}
+
+// The gold-standard check: every analytic gradient matches the central
+// numerical difference of the loss, across a sample of parameters from
+// every weight group.
+func TestGradCheck(t *testing.T) {
+	m := tinyModel()
+	ex := tinyExample()
+	g := NewGrads(m.P)
+	if _, err := Backprop(m, ex, g); err != nil {
+		t.Fatal(err)
+	}
+	const h = 5e-3
+	checked, failures := 0, 0
+	var worst float64
+	visit(m.P, g, func(w, gr []float32) {
+		// Probe a few indices per group.
+		idxs := []int{0, len(w) / 2, len(w) - 1}
+		for _, i := range idxs {
+			if i < 0 || i >= len(w) {
+				continue
+			}
+			orig := w[i]
+			w[i] = orig + h
+			lp, err := Loss(m, ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w[i] = orig - h
+			lm, err := Loss(m, ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w[i] = orig
+			numeric := (lp - lm) / (2 * h)
+			analytic := float64(gr[i])
+			diff := math.Abs(numeric - analytic)
+			rel := diff / (math.Abs(numeric) + math.Abs(analytic) + 1e-4)
+			if rel > worst {
+				worst = rel
+			}
+			checked++
+			if rel > 0.08 {
+				failures++
+				t.Logf("grad mismatch: analytic %g vs numeric %g (rel %g)", analytic, numeric, rel)
+			}
+		}
+	})
+	if checked < 50 {
+		t.Fatalf("only %d parameters probed", checked)
+	}
+	if failures > 0 {
+		t.Fatalf("%d/%d gradient checks failed (worst rel %g)", failures, checked, worst)
+	}
+	t.Logf("%d gradients verified, worst relative error %g", checked, worst)
+}
+
+// Training forward must agree with the inference engine's encoder.
+func TestForwardMatchesInferenceEncoder(t *testing.T) {
+	m := tinyModel()
+	ex := tinyExample()
+	fc, err := forward(m, ex.Src, []int{vocab.BosID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := model.SingleSegment(len(ex.Src), len(ex.Src))
+	want := m.EncodeRow(ex.Src, layout, nil, model.AttDense, true)
+	if !fc.encOut.AllClose(want, 1e-4) {
+		t.Fatalf("training encoder diverges from inference encoder by %g",
+			fc.encOut.MaxAbsDiff(want))
+	}
+}
+
+func TestBackpropValidation(t *testing.T) {
+	m := tinyModel()
+	g := NewGrads(m.P)
+	if _, err := Backprop(m, Example{}, g); err == nil {
+		t.Fatal("empty example should fail")
+	}
+	if _, err := Backprop(m, Example{Src: []int{999}, Tgt: []int{5}}, g); err == nil {
+		t.Fatal("out-of-vocab token should fail")
+	}
+	long := make([]int, 99)
+	for i := range long {
+		long[i] = vocab.FirstWordID
+	}
+	if _, err := Backprop(m, Example{Src: long, Tgt: []int{5}}, g); err == nil {
+		t.Fatal("overlong example should fail")
+	}
+}
+
+func TestGradsZero(t *testing.T) {
+	m := tinyModel()
+	g := NewGrads(m.P)
+	if _, err := Backprop(m, tinyExample(), g); err != nil {
+		t.Fatal(err)
+	}
+	nonzero := false
+	visit(m.P, g, func(w, gr []float32) {
+		for _, v := range gr {
+			if v != 0 {
+				nonzero = true
+			}
+		}
+	})
+	if !nonzero {
+		t.Fatal("backprop produced all-zero gradients")
+	}
+	g.Zero()
+	visit(m.P, g, func(w, gr []float32) {
+		for _, v := range gr {
+			if v != 0 {
+				t.Fatal("Zero left residue")
+			}
+		}
+	})
+}
+
+// copyTask builds a tiny copy corpus: target == source.
+func copyTask(n, maxLen, vocabSize int, seed uint64) []Example {
+	src := rng.New(seed)
+	out := make([]Example, n)
+	for i := range out {
+		l := src.IntRange(2, maxLen)
+		seq := make([]int, l)
+		for j := range seq {
+			seq[j] = src.IntRange(vocab.FirstWordID, vocabSize-1)
+		}
+		out[i] = Example{Src: seq, Tgt: seq}
+	}
+	return out
+}
+
+func TestFitReducesLoss(t *testing.T) {
+	cfg := model.Config{
+		VocabSize: 16, DModel: 16, NumHeads: 2, DFF: 32,
+		EncLayers: 1, DecLayers: 1, MaxLen: 16, Eps: 1e-5,
+	}
+	m := model.New(cfg, 7)
+	examples := copyTask(32, 5, cfg.VocabSize, 3)
+	losses, err := Fit(m, examples, Config{Steps: 60, BatchSize: 8, LR: 3e-3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := (losses[0] + losses[1] + losses[2]) / 3
+	last := (losses[len(losses)-1] + losses[len(losses)-2] + losses[len(losses)-3]) / 3
+	if last >= first*0.7 {
+		t.Fatalf("loss did not drop: %v -> %v", first, last)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	m := tinyModel()
+	if _, err := Fit(m, nil, Config{Steps: 1, BatchSize: 1, LR: 1e-3}); err == nil {
+		t.Fatal("no examples should fail")
+	}
+	if _, err := Fit(m, []Example{tinyExample()}, Config{}); err == nil {
+		t.Fatal("zero config should fail")
+	}
+}
+
+// A trained model must still satisfy the ConcatBatching equivalence — the
+// whole point of training on real weights.
+func TestTrainedModelConcatEquivalence(t *testing.T) {
+	cfg := model.Config{
+		VocabSize: 16, DModel: 16, NumHeads: 2, DFF: 32,
+		EncLayers: 1, DecLayers: 1, MaxLen: 32, Eps: 1e-5,
+	}
+	m := model.New(cfg, 8)
+	examples := copyTask(16, 4, cfg.VocabSize, 5)
+	if _, err := Fit(m, examples, Config{Steps: 20, BatchSize: 4, LR: 3e-3, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	reqA := []int{vocab.FirstWordID + 1, vocab.FirstWordID + 2, vocab.FirstWordID + 3}
+	reqB := []int{vocab.FirstWordID + 4, vocab.FirstWordID + 5}
+	total := len(reqA) + len(reqB)
+	row := append(append([]int{}, reqA...), reqB...)
+	layout := model.ConcatLayout([]int{len(reqA), len(reqB)}, total)
+	enc := m.EncodeRow(row, layout, nil, model.AttDense, true)
+	batched := m.GenerateRow(enc, layout, nil, 4, model.AttDense)
+
+	soloLayout := model.SingleSegment(len(reqA), len(reqA))
+	soloEnc := m.EncodeRow(reqA, soloLayout, nil, model.AttDense, true)
+	solo := m.GenerateRow(soloEnc, soloLayout, nil, 4, model.AttDense)
+	if len(batched[0].Tokens) != len(solo[0].Tokens) {
+		t.Fatalf("trained model broke equivalence: %v vs %v", batched[0].Tokens, solo[0].Tokens)
+	}
+	for i := range solo[0].Tokens {
+		if batched[0].Tokens[i] != solo[0].Tokens[i] {
+			t.Fatalf("token %d differs on trained model", i)
+		}
+	}
+}

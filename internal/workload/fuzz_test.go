@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad ensures the trace loader never panics and that anything it
+// accepts round-trips losslessly. The seed corpus runs on every `go test`;
+// `go test -fuzz=FuzzLoad ./internal/workload` explores further.
+func FuzzLoad(f *testing.F) {
+	spec := PaperSpec(50, 1, 1)
+	reqs, err := Generate(spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var good bytes.Buffer
+	if err := Save(&good, &spec, reqs); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte(`{"requests":[]}`))
+	f.Add([]byte(`{"requests":[{"id":1,"arrival":0,"deadline":1,"len":4,"weight":2}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"requests":[{"id":1,"arrival":5,"deadline":1,"len":4}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, r := range loaded {
+			if r.Validate() != nil {
+				t.Fatalf("Load accepted an invalid request: %+v", r)
+			}
+		}
+		// Accepted traces must round-trip.
+		var buf bytes.Buffer
+		if err := Save(&buf, nil, loaded); err != nil {
+			t.Fatalf("Save of loaded trace failed: %v", err)
+		}
+		_, again, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("reload failed: %v", err)
+		}
+		if len(again) != len(loaded) {
+			t.Fatalf("round trip changed count: %d != %d", len(again), len(loaded))
+		}
+		for i := range loaded {
+			if *again[i] != *loaded[i] {
+				t.Fatalf("round trip changed request %d", i)
+			}
+		}
+	})
+}

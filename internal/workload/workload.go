@@ -1,0 +1,154 @@
+// Package workload generates the synthetic request traces the paper's
+// evaluation uses (§6.2.1): request lengths drawn from a truncated normal
+// distribution (3–100 tokens, configurable mean and variance) arriving as
+// a Poisson process at a configurable rate, each with a response deadline.
+// Traces are deterministic given a seed and can be saved/loaded as JSON so
+// experiments replay bit-identically.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"tcb/internal/rng"
+	"tcb/internal/sched"
+)
+
+// Spec describes a synthetic workload.
+type Spec struct {
+	Rate     float64 `json:"rate"`     // mean arrival rate, requests/second (Poisson)
+	Duration float64 `json:"duration"` // trace length in seconds
+	MinLen   int     `json:"min_len"`  // shortest request (paper: 3)
+	MaxLen   int     `json:"max_len"`  // longest request (paper: 100)
+	MeanLen  float64 `json:"mean_len"` // normal mean (paper: 20)
+	VarLen   float64 `json:"var_len"`  // normal variance (paper: 20 or 100)
+	// Deadline offsets are uniform in [DeadlineMin, DeadlineMax] seconds
+	// after arrival. The paper does not publish its deadline distribution;
+	// the defaults (0.2–1.0 s) put deadlines at a few batch-times, which
+	// makes deadline pressure matter without starving every scheduler.
+	DeadlineMin float64 `json:"deadline_min"`
+	DeadlineMax float64 `json:"deadline_max"`
+	Seed        uint64  `json:"seed"`
+}
+
+// PaperSpec returns §6.2.1's workload: lengths 3–100, mean 20, variance 20,
+// Poisson arrivals at the given rate.
+func PaperSpec(rate, duration float64, seed uint64) Spec {
+	return Spec{
+		Rate: rate, Duration: duration,
+		MinLen: 3, MaxLen: 100, MeanLen: 20, VarLen: 20,
+		DeadlineMin: 0.2, DeadlineMax: 1.0,
+		Seed: seed,
+	}
+}
+
+// Validate reports inconsistent parameters.
+func (s Spec) Validate() error {
+	switch {
+	case s.Rate <= 0:
+		return fmt.Errorf("workload: rate %g must be positive", s.Rate)
+	case s.Duration <= 0:
+		return fmt.Errorf("workload: duration %g must be positive", s.Duration)
+	case s.MinLen <= 0 || s.MaxLen < s.MinLen:
+		return fmt.Errorf("workload: length range [%d, %d] invalid", s.MinLen, s.MaxLen)
+	case s.VarLen < 0:
+		return fmt.Errorf("workload: variance %g negative", s.VarLen)
+	case s.DeadlineMin < 0 || s.DeadlineMax < s.DeadlineMin:
+		return fmt.Errorf("workload: deadline range [%g, %g] invalid", s.DeadlineMin, s.DeadlineMax)
+	}
+	return nil
+}
+
+// Generate produces the request trace for spec, sorted by arrival time.
+// IDs are assigned sequentially from 1.
+func Generate(spec Spec) ([]*sched.Request, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(spec.Seed)
+	stddev := math.Sqrt(spec.VarLen)
+	var out []*sched.Request
+	now := 0.0
+	id := int64(1)
+	for {
+		now += src.Exp(spec.Rate)
+		if now >= spec.Duration {
+			break
+		}
+		ln := src.TruncatedNormalInt(spec.MeanLen, stddev, spec.MinLen, spec.MaxLen)
+		off := spec.DeadlineMin + src.Float64()*(spec.DeadlineMax-spec.DeadlineMin)
+		out = append(out, &sched.Request{
+			ID:       id,
+			Arrival:  now,
+			Deadline: now + off,
+			Len:      ln,
+		})
+		id++
+	}
+	return out, nil
+}
+
+// traceFile is the JSON on-disk representation.
+type traceFile struct {
+	Spec     *Spec           `json:"spec,omitempty"`
+	Requests []traceFileItem `json:"requests"`
+}
+
+type traceFileItem struct {
+	ID       int64   `json:"id"`
+	Arrival  float64 `json:"arrival"`
+	Deadline float64 `json:"deadline"`
+	Len      int     `json:"len"`
+	Weight   float64 `json:"weight,omitempty"`
+}
+
+// Save writes a trace (and optionally the spec that produced it) as JSON.
+func Save(w io.Writer, spec *Spec, reqs []*sched.Request) error {
+	tf := traceFile{Spec: spec}
+	for _, r := range reqs {
+		tf.Requests = append(tf.Requests, traceFileItem{r.ID, r.Arrival, r.Deadline, r.Len, r.Weight})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tf)
+}
+
+// Load reads a JSON trace and validates every request.
+func Load(r io.Reader) (*Spec, []*sched.Request, error) {
+	var tf traceFile
+	if err := json.NewDecoder(r).Decode(&tf); err != nil {
+		return nil, nil, fmt.Errorf("workload: decode trace: %w", err)
+	}
+	var out []*sched.Request
+	for i, it := range tf.Requests {
+		req := &sched.Request{ID: it.ID, Arrival: it.Arrival, Deadline: it.Deadline, Len: it.Len, Weight: it.Weight}
+		if err := req.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("workload: request %d: %w", i, err)
+		}
+		out = append(out, req)
+	}
+	return tf.Spec, out, nil
+}
+
+// SaveFile writes a trace to path.
+func SaveFile(path string, spec *Spec, reqs []*sched.Request) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Save(f, spec, reqs)
+}
+
+// LoadFile reads a trace from path.
+func LoadFile(path string) (*Spec, []*sched.Request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

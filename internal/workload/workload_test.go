@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestPaperSpecValid(t *testing.T) {
+	s := PaperSpec(100, 10, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MinLen != 3 || s.MaxLen != 100 || s.MeanLen != 20 || s.VarLen != 20 {
+		t.Fatalf("paper spec wrong: %+v", s)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Rate: 0, Duration: 1, MinLen: 1, MaxLen: 2},
+		{Rate: 1, Duration: 0, MinLen: 1, MaxLen: 2},
+		{Rate: 1, Duration: 1, MinLen: 0, MaxLen: 2},
+		{Rate: 1, Duration: 1, MinLen: 5, MaxLen: 2},
+		{Rate: 1, Duration: 1, MinLen: 1, MaxLen: 2, VarLen: -1},
+		{Rate: 1, Duration: 1, MinLen: 1, MaxLen: 2, DeadlineMin: 2, DeadlineMax: 1},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Fatalf("spec %d should fail: %+v", i, s)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := PaperSpec(200, 5, 42)
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestGenerateStatistics(t *testing.T) {
+	spec := PaperSpec(500, 20, 7)
+	reqs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poisson process: expect ~rate·duration arrivals within ~5%.
+	want := spec.Rate * spec.Duration
+	if got := float64(len(reqs)); math.Abs(got-want) > 0.05*want {
+		t.Fatalf("arrivals = %v, want ~%v", got, want)
+	}
+	// Length moments close to the truncated normal's.
+	var sum, sq float64
+	for _, r := range reqs {
+		if r.Len < spec.MinLen || r.Len > spec.MaxLen {
+			t.Fatalf("length %d out of range", r.Len)
+		}
+		sum += float64(r.Len)
+		sq += float64(r.Len) * float64(r.Len)
+	}
+	mean := sum / float64(len(reqs))
+	if math.Abs(mean-spec.MeanLen) > 1 {
+		t.Fatalf("mean length %v, want ~%v", mean, spec.MeanLen)
+	}
+	variance := sq/float64(len(reqs)) - mean*mean
+	if math.Abs(variance-spec.VarLen) > 0.25*spec.VarLen {
+		t.Fatalf("length variance %v, want ~%v", variance, spec.VarLen)
+	}
+}
+
+func TestGenerateSortedUniqueIDs(t *testing.T) {
+	reqs, err := Generate(PaperSpec(300, 5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	prev := -1.0
+	for _, r := range reqs {
+		if r.Arrival < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		prev = r.Arrival
+		if seen[r.ID] {
+			t.Fatalf("duplicate ID %d", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Deadline < r.Arrival+0.2-1e-9 || r.Deadline > r.Arrival+1.0+1e-9 {
+			t.Fatalf("deadline offset out of configured range: %v", r.Deadline-r.Arrival)
+		}
+		if r.Validate() != nil {
+			t.Fatalf("generated invalid request %+v", r)
+		}
+	}
+}
+
+func TestGenerateRespectsVariance(t *testing.T) {
+	low, err := Generate(Spec{Rate: 500, Duration: 10, MinLen: 3, MaxLen: 100,
+		MeanLen: 20, VarLen: 10, DeadlineMin: 0.5, DeadlineMax: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Generate(Spec{Rate: 500, Duration: 10, MinLen: 3, MaxLen: 100,
+		MeanLen: 20, VarLen: 100, DeadlineMin: 0.5, DeadlineMax: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variance := func(reqs []float64) float64 {
+		var s, sq float64
+		for _, x := range reqs {
+			s += x
+			sq += x * x
+		}
+		m := s / float64(len(reqs))
+		return sq/float64(len(reqs)) - m*m
+	}
+	var lo, hi []float64
+	for _, r := range low {
+		lo = append(lo, float64(r.Len))
+	}
+	for _, r := range high {
+		hi = append(hi, float64(r.Len))
+	}
+	if variance(hi) <= variance(lo) {
+		t.Fatalf("variance ordering wrong: %v <= %v", variance(hi), variance(lo))
+	}
+}
+
+func TestGenerateInvalidSpec(t *testing.T) {
+	if _, err := Generate(Spec{}); err == nil {
+		t.Fatal("zero spec should fail")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	spec := PaperSpec(100, 2, 9)
+	reqs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, &spec, reqs); err != nil {
+		t.Fatal(err)
+	}
+	gotSpec, gotReqs, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSpec == nil || gotSpec.Rate != spec.Rate || gotSpec.Seed != spec.Seed {
+		t.Fatalf("spec round trip failed: %+v", gotSpec)
+	}
+	if len(gotReqs) != len(reqs) {
+		t.Fatalf("request count %d != %d", len(gotReqs), len(reqs))
+	}
+	for i := range reqs {
+		if *gotReqs[i] != *reqs[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptTrace(t *testing.T) {
+	if _, _, err := Load(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("corrupt JSON should fail")
+	}
+	badReq := `{"requests":[{"id":1,"arrival":5,"deadline":1,"len":4}]}`
+	if _, _, err := Load(bytes.NewBufferString(badReq)); err == nil {
+		t.Fatal("deadline before arrival should fail validation")
+	}
+	badLen := `{"requests":[{"id":1,"arrival":0,"deadline":1,"len":0}]}`
+	if _, _, err := Load(bytes.NewBufferString(badLen)); err == nil {
+		t.Fatal("zero length should fail validation")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	spec := PaperSpec(50, 1, 11)
+	reqs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(path, &spec, reqs); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("file round trip lost requests: %d != %d", len(got), len(reqs))
+	}
+	if _, _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
