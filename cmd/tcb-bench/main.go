@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tcb-bench [-duration seconds] [-seed n] [-list] [id ...]
+//	tcb-bench [-duration seconds] [-seed n] [-json] [-list] [id ...]
 //
 // With no ids it runs everything: fig09–fig16 plus the ablations. Figures
 // 13–14 run the real Go engine and dominate the runtime.
@@ -23,6 +23,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	seeds := flag.Int("seeds", 1, "seeds to average per simulated data point")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON line per figure instead of text tables")
 	csvDir := flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
 	flag.Parse()
 
@@ -52,7 +53,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := fig.Render(os.Stdout); err != nil {
+		if *jsonOut {
+			if err := fig.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else if err := fig.Render(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

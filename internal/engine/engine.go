@@ -19,6 +19,7 @@ import (
 	"tcb/internal/batch"
 	"tcb/internal/gpu"
 	"tcb/internal/model"
+	"tcb/internal/tensor"
 	"tcb/internal/vocab"
 )
 
@@ -172,7 +173,12 @@ func (e *Engine) runRow(b *batch.Batch, row batch.Row, tokens map[int64][]int, m
 	if mode == model.AttSlotted {
 		slots = e.slotsForRow(b, row, layout)
 	}
-	encOut := e.Model.EncodeRow(rowTokens, layout, slots, mode, true)
+	// One workspace per row goroutine: layer intermediates are checked out
+	// and released inside the encoder/decoder, and the buffers themselves
+	// are recycled across batches through the package pool.
+	ws := tensor.NewWorkspace()
+	defer ws.Close()
+	encOut := e.Model.EncodeRowWS(rowTokens, layout, slots, mode, true, ws)
 	if e.MaxNew == 0 {
 		out := make([]Result, len(row.Items))
 		for i, it := range row.Items {

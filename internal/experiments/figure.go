@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -15,20 +16,20 @@ import (
 
 // Series is one labelled line of a figure.
 type Series struct {
-	Name string
-	Y    []float64
+	Name string    `json:"name"`
+	Y    []float64 `json:"y"`
 }
 
 // Figure is a reproduced evaluation figure: one row per x value, one column
 // per series.
 type Figure struct {
-	ID     string // e.g. "fig09"
-	Title  string
-	XLabel string
-	YLabel string
-	X      []float64
-	Series []Series
-	Notes  []string
+	ID     string    `json:"id"` // e.g. "fig09"
+	Title  string    `json:"title"`
+	XLabel string    `json:"xlabel"`
+	YLabel string    `json:"ylabel"`
+	X      []float64 `json:"x"`
+	Series []Series  `json:"series"`
+	Notes  []string  `json:"notes,omitempty"`
 }
 
 // AddPoint appends y to the named series, creating it on first use.
@@ -149,4 +150,15 @@ func (f *Figure) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteJSON writes the figure as a single JSON line — the machine-readable
+// counterpart of Render for CI artifact collection and cross-run diffing.
+func (f *Figure) WriteJSON(w io.Writer) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(f)
 }

@@ -1,52 +1,14 @@
 package model
 
 import (
-	"fmt"
 	"math"
-	"sync"
 
 	"tcb/internal/tensor"
 )
 
-// colSlice copies columns [c0, c1) of m into a new matrix.
-func colSlice(m *tensor.Matrix, c0, c1 int) *tensor.Matrix {
-	out := tensor.New(m.Rows, c1-c0)
-	for i := 0; i < m.Rows; i++ {
-		copy(out.Row(i), m.Row(i)[c0:c1])
-	}
-	return out
-}
-
-// writeCols copies src into columns [c0, c0+src.Cols) of dst.
-func writeCols(dst, src *tensor.Matrix, c0 int) {
-	for i := 0; i < src.Rows; i++ {
-		copy(dst.Row(i)[c0:c0+src.Cols], src.Row(i))
-	}
-}
-
-// subMask copies mask rows [r0,r1) × cols [c0,c1) into a new matrix.
-func subMask(mask *tensor.Matrix, r0, r1, c0, c1 int) *tensor.Matrix {
-	out := tensor.New(r1-r0, c1-c0)
-	for i := r0; i < r1; i++ {
-		copy(out.Row(i-r0), mask.Row(i)[c0:c1])
-	}
-	return out
-}
-
-// attentionHead computes softmax(q·kᵀ·scale + mask)·v for a single head.
-// mask may be nil (unmasked attention, Eq. 4).
-func attentionHead(q, k, v *tensor.Matrix, mask *tensor.Matrix, scale float32) *tensor.Matrix {
-	scores := tensor.MatMulT(q, k)
-	tensor.Scale(scores, scale)
-	if mask != nil {
-		if mask.Rows != scores.Rows || mask.Cols != scores.Cols {
-			panic(fmt.Sprintf("model: mask %dx%d vs scores %dx%d",
-				mask.Rows, mask.Cols, scores.Rows, scores.Cols))
-		}
-		tensor.AddInPlace(scores, mask)
-	}
-	tensor.SoftmaxRows(scores)
-	return tensor.MatMul(scores, v)
+// attnScale returns the 1/√d_h score scaling for a head width.
+func attnScale(dh int) float32 {
+	return float32(1 / math.Sqrt(float64(dh)))
 }
 
 // MultiHeadAttention runs multi-head attention with queries from xq and
@@ -54,88 +16,89 @@ func attentionHead(q, k, v *tensor.Matrix, mask *tensor.Matrix, scale float32) *
 // score matrix (Eq. 5: Att_CB when mask is a block-diagonal RowLayout mask,
 // plain Eq. 4 when mask is nil). It returns the WO-projected result.
 func MultiHeadAttention(w *AttentionWeights, numHeads int, xq, xkv *tensor.Matrix, mask *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(xq.Rows, w.WQ.W.Cols)
+	MultiHeadAttentionInto(out, w, numHeads, xq, xkv, mask, nil)
+	return out
+}
+
+// MultiHeadAttentionInto is the workspace-threaded form of
+// MultiHeadAttention: every intermediate (projections, per-row scores, head
+// concatenation) is checked out of ws and released before returning, so a
+// warm workspace makes the whole call allocation-free. dst must be
+// xq.Rows × dModel; ws may be nil (plain allocations).
+func MultiHeadAttentionInto(dst *tensor.Matrix, w *AttentionWeights, numHeads int, xq, xkv *tensor.Matrix, mask *tensor.Matrix, ws *tensor.Workspace) {
 	dModel := w.WQ.W.Cols
 	if dModel%numHeads != 0 {
 		panic("model: heads must divide dModel")
 	}
-	dh := dModel / numHeads
-	q := w.WQ.Apply(xq)
-	k := w.WK.Apply(xkv)
-	v := w.WV.Apply(xkv)
-	concat := tensor.New(xq.Rows, dModel)
-	scale := float32(1 / math.Sqrt(float64(dh)))
+	q := ws.Get(xq.Rows, dModel)
+	k := ws.Get(xkv.Rows, dModel)
+	v := ws.Get(xkv.Rows, dModel)
+	w.WQ.ApplyInto(q, xq)
+	w.WK.ApplyInto(k, xkv)
+	w.WV.ApplyInto(v, xkv)
+	concat := ws.Get(xq.Rows, dModel)
+	scores := ws.Get(xq.Rows, xkv.Rows)
+	tensor.MultiHeadAttendInto(concat, q, k, v, numHeads, attnScale(dModel/numHeads), mask, scores)
+	w.WO.ApplyInto(dst, concat)
+	ws.Put(scores)
+	ws.Put(concat)
+	ws.Put(v)
+	ws.Put(k)
+	ws.Put(q)
+}
 
-	var wg sync.WaitGroup
-	for h := 0; h < numHeads; h++ {
-		wg.Add(1)
-		go func(h int) {
-			defer wg.Done()
-			c0 := h * dh
-			qh := colSlice(q, c0, c0+dh)
-			kh := colSlice(k, c0, c0+dh)
-			vh := colSlice(v, c0, c0+dh)
-			out := attentionHead(qh, kh, vh, mask, scale)
-			writeCols(concat, out, c0)
-		}(h)
+// MultiHeadAttentionBlocksInto runs block-sparse multi-head attention:
+// scores are computed only inside the given Q×K blocks, with the optional
+// per-row segment ids applying the concat-isolation mask inline and causal
+// hiding future keys (self-attention only). Query rows outside every block
+// produce the same output as fully masked rows of the dense path. This is
+// the kernel behind both slotted self-attention (blocks = slots) and
+// slotted cross-attention (blocks = segment pairs) — no dense mask is ever
+// materialized.
+func MultiHeadAttentionBlocksInto(dst *tensor.Matrix, w *AttentionWeights, numHeads int, xq, xkv *tensor.Matrix,
+	blocks []tensor.AttendBlock, qSeg, kSeg []int, causal bool, ws *tensor.Workspace) {
+	dModel := w.WQ.W.Cols
+	if dModel%numHeads != 0 {
+		panic("model: heads must divide dModel")
 	}
-	wg.Wait()
-	return w.WO.Apply(concat)
+	q := ws.Get(xq.Rows, dModel)
+	k := ws.Get(xkv.Rows, dModel)
+	v := ws.Get(xkv.Rows, dModel)
+	w.WQ.ApplyInto(q, xq)
+	w.WK.ApplyInto(k, xkv)
+	w.WV.ApplyInto(v, xkv)
+	concat := ws.Get(xq.Rows, dModel)
+	maxK := 0
+	for _, b := range blocks {
+		if n := b.K.Len(); n > maxK {
+			maxK = n
+		}
+	}
+	scores := ws.Get(xq.Rows, maxK)
+	tensor.BlockAttendInto(concat, q, k, v, numHeads, attnScale(dModel/numHeads), blocks, qSeg, kSeg, causal, scores)
+	w.WO.ApplyInto(dst, concat)
+	ws.Put(scores)
+	ws.Put(concat)
+	ws.Put(v)
+	ws.Put(k)
+	ws.Put(q)
 }
 
 // MultiHeadAttentionSlotted runs the slotted self-attention Att_CB_S
 // (Eq. 8): attention is computed independently per slot, so the score
 // matrices are slot-local (Σ zᵢ² entries instead of n², Fig. 7) and the
-// off-slot redundancy the mask merely neutralized is never computed.
+// off-slot redundancy the dense mask merely neutralized is never computed.
 //
-// mask is the full-row additive mask (block-diagonal, causal, or any other
-// structure); each slot uses its own sub-block, so results are numerically
-// identical to MultiHeadAttention with the same mask as long as the mask
-// never lets attention cross slot boundaries. Rows outside every slot
-// (padding) produce zero output.
-func MultiHeadAttentionSlotted(w *AttentionWeights, numHeads int, x *tensor.Matrix, slots []Slot, mask *tensor.Matrix) *tensor.Matrix {
-	dModel := w.WQ.W.Cols
-	if dModel%numHeads != 0 {
-		panic("model: heads must divide dModel")
-	}
-	dh := dModel / numHeads
-	q := w.WQ.Apply(x)
-	k := w.WK.Apply(x)
-	v := w.WV.Apply(x)
-	concat := tensor.New(x.Rows, dModel)
-	scale := float32(1 / math.Sqrt(float64(dh)))
-
-	type job struct {
-		head int
-		slot Slot
-	}
-	jobs := make([]job, 0, numHeads*len(slots))
-	for h := 0; h < numHeads; h++ {
-		for _, s := range slots {
-			jobs = append(jobs, job{h, s})
-		}
-	}
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			c0 := j.head * dh
-			r0, r1 := j.slot.Start, j.slot.Start+j.slot.Len
-			qs := subMask(q, r0, r1, c0, c0+dh)
-			ks := subMask(k, r0, r1, c0, c0+dh)
-			vs := subMask(v, r0, r1, c0, c0+dh)
-			var m *tensor.Matrix
-			if mask != nil {
-				m = subMask(mask, r0, r1, r0, r1)
-			}
-			out := attentionHead(qs, ks, vs, m, scale)
-			for i := 0; i < out.Rows; i++ {
-				copy(concat.Row(r0+i)[c0:c0+dh], out.Row(i))
-			}
-		}(j)
-	}
-	wg.Wait()
-	return w.WO.Apply(concat)
+// layout supplies the segment boundaries; keys from a different segment of
+// the same slot are masked inline exactly as the dense block-diagonal mask
+// would, so results match MultiHeadAttention with layout.BuildMask() bit
+// for bit. Rows outside every slot (padding) produce zero output.
+func MultiHeadAttentionSlotted(w *AttentionWeights, numHeads int, x *tensor.Matrix, slots []Slot, layout RowLayout) *tensor.Matrix {
+	out := tensor.New(x.Rows, w.WQ.W.Cols)
+	seg := layout.SegIDs()
+	MultiHeadAttentionBlocksInto(out, w, numHeads, x, x, SlotBlocks(slots), seg, seg, false, nil)
+	return out
 }
 
 // ScoreArea returns the number of attention-score entries a scheme computes

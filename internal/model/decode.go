@@ -19,6 +19,11 @@ import (
 // the batch case: a segment's cached keys/values are exactly the rows the
 // block-diagonal mask would have exposed, so cached decoding produces the
 // same tokens as mask-based decoding (tested to exact token equality).
+//
+// All step buffers and KV caches are allocated once at construction, sized
+// by the model's MaxLen bound on decode positions, so a warm state performs
+// zero heap allocations per Step — the property the alloc regression tests
+// pin down.
 type DecodeState struct {
 	m         *Model
 	encLayout RowLayout
@@ -29,36 +34,78 @@ type DecodeState struct {
 
 	prefixLen []int  // tokens decoded so far per segment (BOS included)
 	finished  []bool // segment has emitted EOS or hit its cap
+
+	// Preallocated step buffers, resized (never reallocated) to the number
+	// of live segments each Step.
+	x      *tensor.Matrix // live × dModel hidden states
+	q      *tensor.Matrix // live × dModel projection scratch
+	attn   *tensor.Matrix // live × dModel attention output
+	proj   *tensor.Matrix // live × dModel WO projection / FFN output
+	ff     *tensor.Matrix // live × dFF FFN hidden
+	logits *tensor.Matrix // live × vocab output logits
+
+	scores []float32 // attention scratch, one cache's worth of weights
+	live   []int     // live segment indices, rebuilt each Step
+	out    [][]float32
 }
 
 // layerCache holds one decoder layer's attention caches.
 type layerCache struct {
 	// selfK[i] / selfV[i]: cached projected key/value rows (d wide) of
-	// segment i, one per decoded position.
-	selfK, selfV [][][]float32
+	// segment i, one row per decoded position. Capacity is reserved up
+	// front (MaxLen rows), so appends never reallocate.
+	selfK, selfV []*tensor.Matrix
 	// crossK[i] / crossV[i]: fixed projected encoder keys/values of
 	// segment i.
 	crossK, crossV []*tensor.Matrix
+	// kv holds freshly projected keys and values for the step's live rows
+	// before they are appended to the per-segment caches.
+	k, v *tensor.Matrix
 }
 
 // NewDecodeState precomputes the cross-attention caches from the encoder
-// output and returns a state ready for Step.
+// output, reserves every per-step buffer, and returns a state ready for
+// Step.
 func (m *Model) NewDecodeState(encOut *tensor.Matrix, encLayout RowLayout) *DecodeState {
 	nSeg := len(encLayout.Segments)
+	d := m.Cfg.DModel
+	maxLen := m.P.PosEnc.Rows // Step rejects positions beyond this bound
 	s := &DecodeState{
 		m:         m,
 		encLayout: encLayout,
 		nSeg:      nSeg,
 		prefixLen: make([]int, nSeg),
 		finished:  make([]bool, nSeg),
+		x:         tensor.New(nSeg, d),
+		q:         tensor.New(nSeg, d),
+		attn:      tensor.New(nSeg, d),
+		proj:      tensor.New(nSeg, d),
+		ff:        tensor.New(nSeg, m.Cfg.DFF),
+		logits:    tensor.New(nSeg, m.Cfg.VocabSize),
+		live:      make([]int, 0, nSeg),
+		out:       make([][]float32, nSeg),
 	}
+	scoreLen := maxLen
+	for _, seg := range encLayout.Segments {
+		if seg.Len > scoreLen {
+			scoreLen = seg.Len
+		}
+	}
+	s.scores = make([]float32, scoreLen)
 	for range m.P.Decoder {
-		s.layers = append(s.layers, &layerCache{
-			selfK:  make([][][]float32, nSeg),
-			selfV:  make([][][]float32, nSeg),
+		lc := &layerCache{
+			selfK:  make([]*tensor.Matrix, nSeg),
+			selfV:  make([]*tensor.Matrix, nSeg),
 			crossK: make([]*tensor.Matrix, nSeg),
 			crossV: make([]*tensor.Matrix, nSeg),
-		})
+			k:      tensor.New(nSeg, d),
+			v:      tensor.New(nSeg, d),
+		}
+		for i := 0; i < nSeg; i++ {
+			lc.selfK[i] = &tensor.Matrix{Cols: d, Data: make([]float32, 0, maxLen*d)}
+			lc.selfV[i] = &tensor.Matrix{Cols: d, Data: make([]float32, 0, maxLen*d)}
+		}
+		s.layers = append(s.layers, lc)
 	}
 	for li, layer := range m.P.Decoder {
 		k := layer.CrossAttn.WK.Apply(encOut)
@@ -90,37 +137,44 @@ func (s *DecodeState) AllFinished() bool {
 // Step feeds one token per segment (tokens[i] is ignored for finished
 // segments) and returns the vocabulary logits for each live segment
 // (nil rows for finished ones). The first call must pass vocab.BosID for
-// every segment.
+// every segment. The returned slices alias the state's internal logits
+// buffer and are valid only until the next Step call; callers that need
+// them longer must copy.
 func (s *DecodeState) Step(tokens []int) ([][]float32, error) {
 	if len(tokens) != s.nSeg {
 		return nil, fmt.Errorf("model: Step got %d tokens for %d segments", len(tokens), s.nSeg)
 	}
-	// Gather the live segments.
-	var live []int
+	// Gather the live segments, validating before any state mutation.
+	s.live = s.live[:0]
 	for i := 0; i < s.nSeg; i++ {
-		if !s.finished[i] {
-			live = append(live, i)
+		if s.finished[i] {
+			continue
 		}
+		if tokens[i] < 0 || tokens[i] >= s.m.Cfg.VocabSize {
+			return nil, fmt.Errorf("model: token %d out of vocabulary", tokens[i])
+		}
+		if s.prefixLen[i] >= s.m.P.PosEnc.Rows {
+			return nil, fmt.Errorf("model: segment %d position %d beyond MaxLen", i, s.prefixLen[i])
+		}
+		s.live = append(s.live, i)
+	}
+	live := s.live
+	for i := range s.out {
+		s.out[i] = nil
 	}
 	if len(live) == 0 {
-		return make([][]float32, s.nSeg), nil
+		return s.out, nil
 	}
 	// Embed the new token of every live segment at its own position —
 	// separate positional encoding, per segment, by construction.
 	d := s.m.Cfg.DModel
-	x := tensor.New(len(live), d)
+	n := len(live)
+	x := s.x
+	x.Resize(n, d)
 	for r, i := range live {
-		id := tokens[i]
-		if id < 0 || id >= s.m.Cfg.VocabSize {
-			return nil, fmt.Errorf("model: token %d out of vocabulary", id)
-		}
-		copy(x.Row(r), s.m.P.Embedding.Row(id))
-		pos := s.prefixLen[i]
-		if pos >= s.m.P.PosEnc.Rows {
-			return nil, fmt.Errorf("model: segment %d position %d beyond MaxLen", i, pos)
-		}
-		peRow := s.m.P.PosEnc.Row(pos)
 		row := x.Row(r)
+		copy(row, s.m.P.Embedding.Row(tokens[i]))
+		peRow := s.m.P.PosEnc.Row(s.prefixLen[i])
 		for j := range row {
 			row[j] += peRow[j]
 		}
@@ -129,128 +183,55 @@ func (s *DecodeState) Step(tokens []int) ([][]float32, error) {
 
 	heads := s.m.Cfg.NumHeads
 	dh := s.m.Cfg.HeadDim()
-	scale := float32(1 / math.Sqrt(float64(dh)))
+	scale := attnScale(dh)
+	q, attn, proj := s.q, s.attn, s.proj
+	q.Resize(n, d)
+	attn.Resize(n, d)
+	proj.Resize(n, d)
 	for li, layer := range s.m.P.Decoder {
 		cache := s.layers[li]
 		// Self-attention with per-segment KV cache (causal by
 		// construction: the cache only holds the past).
-		q := layer.SelfAttn.WQ.Apply(x)
-		k := layer.SelfAttn.WK.Apply(x)
-		v := layer.SelfAttn.WV.Apply(x)
-		attn := tensor.New(len(live), d)
+		k, v := cache.k, cache.v
+		k.Resize(n, d)
+		v.Resize(n, d)
+		layer.SelfAttn.WQ.ApplyInto(q, x)
+		layer.SelfAttn.WK.ApplyInto(k, x)
+		layer.SelfAttn.WV.ApplyInto(v, x)
 		for r, i := range live {
-			kRow := append([]float32(nil), k.Row(r)...)
-			vRow := append([]float32(nil), v.Row(r)...)
-			cache.selfK[i] = append(cache.selfK[i], kRow)
-			cache.selfV[i] = append(cache.selfV[i], vRow)
-			attendCached(attn.Row(r), q.Row(r), cache.selfK[i], cache.selfV[i], heads, dh, scale)
+			cache.selfK[i].AppendRow(k.Row(r))
+			cache.selfV[i].AppendRow(v.Row(r))
+			tensor.AttendCachedRow(attn.Row(r), q.Row(r), cache.selfK[i], cache.selfV[i], heads, dh, scale, s.scores)
 		}
-		proj := layer.SelfAttn.WO.Apply(attn)
+		layer.SelfAttn.WO.ApplyInto(proj, attn)
 		tensor.AddInPlace(x, proj)
 		layer.Norm1.Apply(x)
 
 		// Cross-attention against the fixed encoder cache of the own
 		// segment only.
-		q = layer.CrossAttn.WQ.Apply(x)
-		attn = tensor.New(len(live), d)
+		layer.CrossAttn.WQ.ApplyInto(q, x)
 		for r, i := range live {
-			attendMatrix(attn.Row(r), q.Row(r), cache.crossK[i], cache.crossV[i], heads, dh, scale)
+			tensor.AttendCachedRow(attn.Row(r), q.Row(r), cache.crossK[i], cache.crossV[i], heads, dh, scale, s.scores)
 		}
-		proj = layer.CrossAttn.WO.Apply(attn)
+		layer.CrossAttn.WO.ApplyInto(proj, attn)
 		tensor.AddInPlace(x, proj)
 		layer.Norm2.Apply(x)
 
-		ff := layer.FFN.Apply(x)
-		tensor.AddInPlace(x, ff)
+		ff := s.ff
+		ff.Resize(n, s.m.Cfg.DFF)
+		layer.FFN.In.ApplyInto(ff, x)
+		tensor.ReLU(ff)
+		layer.FFN.Out.ApplyInto(proj, ff)
+		tensor.AddInPlace(x, proj)
 		layer.Norm3.Apply(x)
 	}
 
-	logits := s.m.P.OutProj.Apply(x)
-	out := make([][]float32, s.nSeg)
+	s.logits.Resize(n, s.m.Cfg.VocabSize)
+	s.m.P.OutProj.ApplyInto(s.logits, x)
 	for r, i := range live {
-		out[i] = append([]float32(nil), logits.Row(r)...)
+		s.out[i] = s.logits.Row(r)
 	}
-	return out, nil
-}
-
-// attendCached computes multi-head attention of a single query row over
-// cached key/value rows, writing the concatenated head outputs to dst.
-func attendCached(dst, q []float32, keys, vals [][]float32, heads, dh int, scale float32) {
-	n := len(keys)
-	scores := make([]float32, n)
-	for h := 0; h < heads; h++ {
-		c0 := h * dh
-		// Scores for this head.
-		maxv := float32(math.Inf(-1))
-		for t := 0; t < n; t++ {
-			var sum float32
-			kRow := keys[t]
-			for j := 0; j < dh; j++ {
-				sum += q[c0+j] * kRow[c0+j]
-			}
-			sum *= scale
-			scores[t] = sum
-			if sum > maxv {
-				maxv = sum
-			}
-		}
-		var norm float32
-		for t := 0; t < n; t++ {
-			e := float32(math.Exp(float64(scores[t] - maxv)))
-			scores[t] = e
-			norm += e
-		}
-		inv := 1 / norm
-		for j := 0; j < dh; j++ {
-			dst[c0+j] = 0
-		}
-		for t := 0; t < n; t++ {
-			a := scores[t] * inv
-			vRow := vals[t]
-			for j := 0; j < dh; j++ {
-				dst[c0+j] += a * vRow[c0+j]
-			}
-		}
-	}
-}
-
-// attendMatrix is attendCached over matrix-backed keys/values.
-func attendMatrix(dst, q []float32, keys, vals *tensor.Matrix, heads, dh int, scale float32) {
-	n := keys.Rows
-	scores := make([]float32, n)
-	for h := 0; h < heads; h++ {
-		c0 := h * dh
-		maxv := float32(math.Inf(-1))
-		for t := 0; t < n; t++ {
-			var sum float32
-			kRow := keys.Row(t)
-			for j := 0; j < dh; j++ {
-				sum += q[c0+j] * kRow[c0+j]
-			}
-			sum *= scale
-			scores[t] = sum
-			if sum > maxv {
-				maxv = sum
-			}
-		}
-		var norm float32
-		for t := 0; t < n; t++ {
-			e := float32(math.Exp(float64(scores[t] - maxv)))
-			scores[t] = e
-			norm += e
-		}
-		inv := 1 / norm
-		for j := 0; j < dh; j++ {
-			dst[c0+j] = 0
-		}
-		for t := 0; t < n; t++ {
-			a := scores[t] * inv
-			vRow := vals.Row(t)
-			for j := 0; j < dh; j++ {
-				dst[c0+j] += a * vRow[c0+j]
-			}
-		}
-	}
+	return s.out, nil
 }
 
 // GenerateRowCached mirrors GenerateRowCapped using the KV-cached

@@ -89,6 +89,54 @@ func (r RowLayout) SegmentOf(pos int) int {
 	return -1
 }
 
+// SegIDs returns the per-token segment index of the row (-1 for padding
+// positions). The block-sparse attention kernel consumes this vector
+// directly instead of a materialized Total×Total mask.
+func (r RowLayout) SegIDs() []int {
+	ids := make([]int, r.Total)
+	for i := range ids {
+		ids[i] = -1
+	}
+	for si, s := range r.Segments {
+		for i := s.Start; i < s.End(); i++ {
+			ids[i] = si
+		}
+	}
+	return ids
+}
+
+// SlotBlocks converts a slot partition into self-attention blocks for the
+// block-sparse kernel: each slot attends within itself (Q and K spans
+// coincide), so the kernel's score area is exactly Σ zᵢ² (Eq. 8).
+func SlotBlocks(slots []Slot) []tensor.AttendBlock {
+	blocks := make([]tensor.AttendBlock, len(slots))
+	for i, s := range slots {
+		sp := tensor.Span{Start: s.Start, End: s.Start + s.Len}
+		blocks[i] = tensor.AttendBlock{Q: sp, K: sp}
+	}
+	return blocks
+}
+
+// CrossBlocks pairs each decoder segment with its encoder segment for
+// block-sparse cross-attention: decoder tokens of segment i attend only to
+// encoder tokens of segment i, the same structure BuildCrossMask encodes
+// densely. The layouts must have the same number of segments.
+func CrossBlocks(dec, enc RowLayout) []tensor.AttendBlock {
+	if len(dec.Segments) != len(enc.Segments) {
+		panic(fmt.Sprintf("model: cross blocks with %d decoder vs %d encoder segments",
+			len(dec.Segments), len(enc.Segments)))
+	}
+	blocks := make([]tensor.AttendBlock, len(dec.Segments))
+	for i, d := range dec.Segments {
+		e := enc.Segments[i]
+		blocks[i] = tensor.AttendBlock{
+			Q: tensor.Span{Start: d.Start, End: d.End()},
+			K: tensor.Span{Start: e.Start, End: e.End()},
+		}
+	}
+	return blocks
+}
+
 // BuildMask materializes the paper's mask matrix M (Eq. 6) for this row:
 // a Total×Total additive mask that is 0 on each Q_i·K_iᵀ diagonal block and
 // −∞ (tensor.NegInf) everywhere else, padding included.

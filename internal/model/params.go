@@ -25,9 +25,17 @@ func NewLinear(src *rng.Source, in, out int) *Linear {
 
 // Apply returns x·W + b.
 func (l *Linear) Apply(x *tensor.Matrix) *tensor.Matrix {
-	y := tensor.MatMul(x, l.W)
-	tensor.AddRowVector(y, l.B)
+	y := tensor.New(x.Rows, l.W.Cols)
+	l.ApplyInto(y, x)
 	return y
+}
+
+// ApplyInto computes dst = x·W + b into a caller-provided matrix, the
+// allocation-free form used by the inference hot path. dst must be
+// x.Rows × out and must not alias x.
+func (l *Linear) ApplyInto(dst, x *tensor.Matrix) {
+	tensor.MatMulInto(dst, x, l.W)
+	tensor.AddRowVector(dst, l.B)
 }
 
 // LayerNorm holds per-feature gain and bias for row normalization.
@@ -81,9 +89,20 @@ func NewFFNWeights(src *rng.Source, dModel, dFF int) *FFNWeights {
 
 // Apply runs the position-wise FFN: ReLU(x·W1 + b1)·W2 + b2.
 func (f *FFNWeights) Apply(x *tensor.Matrix) *tensor.Matrix {
-	h := f.In.Apply(x)
+	out := tensor.New(x.Rows, f.Out.W.Cols)
+	f.ApplyInto(out, x, nil)
+	return out
+}
+
+// ApplyInto runs the FFN into dst, drawing the hidden activation from ws
+// (plain allocation when ws is nil). dst must be x.Rows × dModel and must
+// not alias x.
+func (f *FFNWeights) ApplyInto(dst, x *tensor.Matrix, ws *tensor.Workspace) {
+	h := ws.Get(x.Rows, f.In.W.Cols)
+	f.In.ApplyInto(h, x)
 	tensor.ReLU(h)
-	return f.Out.Apply(h)
+	f.Out.ApplyInto(dst, h)
+	ws.Put(h)
 }
 
 // EncoderLayerWeights bundles one encoder layer: self-attention + FFN with

@@ -57,12 +57,24 @@ func (m *Model) embedRow(tokens []int, layout RowLayout, separatePE bool) *tenso
 	return x
 }
 
-// encoderSelfAttn dispatches one encoder self-attention according to mode.
-func (m *Model) selfAttn(w *AttentionWeights, x *tensor.Matrix, mask *tensor.Matrix, slots []Slot, mode AttentionMode) *tensor.Matrix {
-	if mode == AttSlotted {
-		return MultiHeadAttentionSlotted(w, m.Cfg.NumHeads, x, slots, mask)
+// attnCtx carries one row's per-mode attention inputs through the layer
+// stack so they are built once per row, not once per layer: the dense mask
+// for AttDense, the slot blocks and per-token segment ids for AttSlotted.
+type attnCtx struct {
+	mode   AttentionMode
+	mask   *tensor.Matrix // dense additive mask (AttDense only)
+	blocks []tensor.AttendBlock
+	segIDs []int
+	ws     *tensor.Workspace
+}
+
+// selfAttnInto dispatches one self-attention according to the row context.
+func (m *Model) selfAttnInto(dst *tensor.Matrix, w *AttentionWeights, x *tensor.Matrix, rc *attnCtx, causal bool) {
+	if rc.mode == AttSlotted {
+		MultiHeadAttentionBlocksInto(dst, w, m.Cfg.NumHeads, x, x, rc.blocks, rc.segIDs, rc.segIDs, causal, rc.ws)
+		return
 	}
-	return MultiHeadAttention(w, m.Cfg.NumHeads, x, x, mask)
+	MultiHeadAttentionInto(dst, w, m.Cfg.NumHeads, x, x, rc.mask, rc.ws)
 }
 
 // EncodeRow runs the encoder stack over one (possibly concatenated) row.
@@ -73,6 +85,14 @@ func (m *Model) selfAttn(w *AttentionWeights, x *tensor.Matrix, mask *tensor.Mat
 // true whenever the row holds more than one segment, or results are wrong —
 // EncodeRow enforces this.
 func (m *Model) EncodeRow(tokens []int, layout RowLayout, slots []Slot, mode AttentionMode, separatePE bool) *tensor.Matrix {
+	return m.EncodeRowWS(tokens, layout, slots, mode, separatePE, nil)
+}
+
+// EncodeRowWS is EncodeRow with an explicit workspace for all layer
+// intermediates; the engine passes one workspace per batch row so repeated
+// rows reuse the same buffers. ws may be nil. The returned matrix is
+// independently allocated (it outlives the workspace).
+func (m *Model) EncodeRowWS(tokens []int, layout RowLayout, slots []Slot, mode AttentionMode, separatePE bool, ws *tensor.Workspace) *tensor.Matrix {
 	if err := layout.Validate(); err != nil {
 		panic(err)
 	}
@@ -80,14 +100,25 @@ func (m *Model) EncodeRow(tokens []int, layout RowLayout, slots []Slot, mode Att
 		panic("model: concatenated rows require separate positional encoding")
 	}
 	x := m.embedRow(tokens, layout, separatePE)
-	mask := layout.BuildMask()
+	rc := attnCtx{mode: mode, ws: ws}
+	if mode == AttSlotted {
+		// Slotted rows never materialize the Total×Total mask: the block
+		// list plus segment ids carry the same structure to the kernel.
+		rc.blocks = SlotBlocks(slots)
+		rc.segIDs = layout.SegIDs()
+	} else {
+		rc.mask = layout.BuildMask()
+	}
+	d := m.Cfg.DModel
 	for _, layer := range m.P.Encoder {
-		attn := m.selfAttn(layer.SelfAttn, x, mask, slots, mode)
+		attn := ws.Get(x.Rows, d)
+		m.selfAttnInto(attn, layer.SelfAttn, x, &rc, false)
 		tensor.AddInPlace(x, attn)
 		layer.Norm1.Apply(x)
-		ff := layer.FFN.Apply(x)
-		tensor.AddInPlace(x, ff)
+		layer.FFN.ApplyInto(attn, x, ws)
+		tensor.AddInPlace(x, attn)
 		layer.Norm2.Apply(x)
+		ws.Put(attn)
 	}
 	return x
 }
@@ -95,20 +126,36 @@ func (m *Model) EncodeRow(tokens []int, layout RowLayout, slots []Slot, mode Att
 // decodeStep runs the decoder stack over the current concatenated decoder
 // prefixes and returns the hidden states.
 func (m *Model) decodeStep(decTokens []int, decLayout RowLayout, decSlots []Slot,
-	encOut *tensor.Matrix, encLayout RowLayout, mode AttentionMode) *tensor.Matrix {
+	encOut *tensor.Matrix, encLayout RowLayout, mode AttentionMode, ws *tensor.Workspace) *tensor.Matrix {
 	x := m.embedRow(decTokens, decLayout, true)
-	selfMask := decLayout.BuildCausalMask()
-	crossMask := decLayout.BuildCrossMask(encLayout)
+	rc := attnCtx{mode: mode, ws: ws}
+	var crossMask *tensor.Matrix
+	var crossBlocks []tensor.AttendBlock
+	if mode == AttSlotted {
+		rc.blocks = SlotBlocks(decSlots)
+		rc.segIDs = decLayout.SegIDs()
+		crossBlocks = CrossBlocks(decLayout, encLayout)
+	} else {
+		rc.mask = decLayout.BuildCausalMask()
+		crossMask = decLayout.BuildCrossMask(encLayout)
+	}
+	d := m.Cfg.DModel
 	for _, layer := range m.P.Decoder {
-		attn := m.selfAttn(layer.SelfAttn, x, selfMask, decSlots, mode)
+		attn := ws.Get(x.Rows, d)
+		m.selfAttnInto(attn, layer.SelfAttn, x, &rc, true)
 		tensor.AddInPlace(x, attn)
 		layer.Norm1.Apply(x)
-		cross := MultiHeadAttention(layer.CrossAttn, m.Cfg.NumHeads, x, encOut, crossMask)
-		tensor.AddInPlace(x, cross)
+		if mode == AttSlotted {
+			MultiHeadAttentionBlocksInto(attn, layer.CrossAttn, m.Cfg.NumHeads, x, encOut, crossBlocks, nil, nil, false, ws)
+		} else {
+			MultiHeadAttentionInto(attn, layer.CrossAttn, m.Cfg.NumHeads, x, encOut, crossMask, ws)
+		}
+		tensor.AddInPlace(x, attn)
 		layer.Norm2.Apply(x)
-		ff := layer.FFN.Apply(x)
-		tensor.AddInPlace(x, ff)
+		layer.FFN.ApplyInto(attn, x, ws)
+		tensor.AddInPlace(x, attn)
 		layer.Norm3.Apply(x)
+		ws.Put(attn)
 	}
 	return x
 }
@@ -182,6 +229,8 @@ func (m *Model) GenerateRowCapped(encOut *tensor.Matrix, encLayout RowLayout, en
 			maxNew = c
 		}
 	}
+	ws := tensor.NewWorkspace()
+	defer ws.Close()
 	results := make([]GenerateResult, nSeg)
 	prefixes := make([][]int, nSeg)
 	finished := make([]bool, nSeg)
@@ -218,7 +267,7 @@ func (m *Model) GenerateRowCapped(encOut *tensor.Matrix, encLayout RowLayout, en
 		if mode == AttSlotted {
 			decSlots = regroupSlots(encSlots, decLayout)
 		}
-		hidden := m.decodeStep(decTokens, decLayout, decSlots, encOut, encLayout, mode)
+		hidden := m.decodeStep(decTokens, decLayout, decSlots, encOut, encLayout, mode, ws)
 		// Read the logits at each segment's last position.
 		for i, seg := range decLayout.Segments {
 			if finished[i] {

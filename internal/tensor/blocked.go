@@ -22,48 +22,124 @@ func MatMulBlocked(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulBlocked dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	n, k, p := a.Rows, a.Cols, b.Cols
-	for i := range dst.Data {
-		dst.Data[i] = 0
-	}
+	n := a.Rows
+	dst.Zero()
 	// Parallelize over row-tiles; each worker owns disjoint dst rows.
 	nTiles := (n + blockSize - 1) / blockSize
+	if planWorkers(nTiles, 1) == 1 {
+		matMulBlockedTiles(dst, a, b, 0, nTiles)
+		return
+	}
 	parallelRows(nTiles, 1, func(tLo, tHi int) {
-		for ti := tLo; ti < tHi; ti++ {
-			i0 := ti * blockSize
-			i1 := i0 + blockSize
-			if i1 > n {
-				i1 = n
+		matMulBlockedTiles(dst, a, b, tLo, tHi)
+	})
+}
+
+func matMulBlockedTiles(dst, a, b *Matrix, tLo, tHi int) {
+	n, k, p := a.Rows, a.Cols, b.Cols
+	for ti := tLo; ti < tHi; ti++ {
+		i0 := ti * blockSize
+		i1 := i0 + blockSize
+		if i1 > n {
+			i1 = n
+		}
+		for k0 := 0; k0 < k; k0 += blockSize {
+			k1 := k0 + blockSize
+			if k1 > k {
+				k1 = k
 			}
-			for k0 := 0; k0 < k; k0 += blockSize {
-				k1 := k0 + blockSize
-				if k1 > k {
-					k1 = k
+			for j0 := 0; j0 < p; j0 += blockSize {
+				j1 := j0 + blockSize
+				if j1 > p {
+					j1 = p
 				}
-				for j0 := 0; j0 < p; j0 += blockSize {
-					j1 := j0 + blockSize
-					if j1 > p {
-						j1 = p
+				// Micro-kernel on the (i, k) × (k, j) tile pair: four
+				// k-steps fused per accumulator pass, as in matMulSmallRange.
+				sb := b.stride()
+				bd := b.Data
+				for i := i0; i < i1; i++ {
+					arow := a.Row(i)
+					drow := dst.Row(i)[j0:j1]
+					kk := k0
+					for ; kk+4 <= k1; kk += 4 {
+						a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+						b0 := bd[kk*sb+j0 : kk*sb+j1]
+						b1 := bd[(kk+1)*sb+j0 : (kk+1)*sb+j1]
+						b2 := bd[(kk+2)*sb+j0 : (kk+2)*sb+j1]
+						b3 := bd[(kk+3)*sb+j0 : (kk+3)*sb+j1]
+						for j := range drow {
+							drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+						}
 					}
-					// Micro-kernel on the (i, k) × (k, j) tile pair.
-					for i := i0; i < i1; i++ {
-						arow := a.Data[i*k : (i+1)*k]
-						drow := dst.Data[i*p : (i+1)*p]
-						for kk := k0; kk < k1; kk++ {
-							av := arow[kk]
-							if av == 0 {
-								continue
-							}
-							brow := b.Data[kk*p : (kk+1)*p]
-							for j := j0; j < j1; j++ {
-								drow[j] += av * brow[j]
-							}
+					for ; kk < k1; kk++ {
+						av := arow[kk]
+						if av == 0 {
+							continue
+						}
+						brow := bd[kk*sb+j0 : kk*sb+j1]
+						for j := range drow {
+							drow[j] += av * brow[j]
 						}
 					}
 				}
 			}
 		}
+	}
+}
+
+// MatMulTBlocked computes dst = a × bᵀ with cache-blocked tiling over the
+// query rows, key rows and the shared inner dimension. Q·Kᵀ — the largest
+// matmul in attention — lands here via MatMulTInto's size dispatch; at
+// attention shapes (long rows, modest inner dim) the j/k tiling keeps the
+// active slices of b resident in L1/L2 across an entire i-tile.
+func MatMulTBlocked(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTBlocked inner dims %d != %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTBlocked dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	n := a.Rows
+	dst.Zero()
+	nTiles := (n + blockSize - 1) / blockSize
+	if planWorkers(nTiles, 1) == 1 {
+		matMulTBlockedTiles(dst, a, b, 0, nTiles)
+		return
+	}
+	parallelRows(nTiles, 1, func(tLo, tHi int) {
+		matMulTBlockedTiles(dst, a, b, tLo, tHi)
 	})
+}
+
+func matMulTBlockedTiles(dst, a, b *Matrix, tLo, tHi int) {
+	n, k, p := a.Rows, a.Cols, b.Rows
+	for ti := tLo; ti < tHi; ti++ {
+		i0 := ti * blockSize
+		i1 := i0 + blockSize
+		if i1 > n {
+			i1 = n
+		}
+		for k0 := 0; k0 < k; k0 += blockSize {
+			k1 := k0 + blockSize
+			if k1 > k {
+				k1 = k
+			}
+			for j0 := 0; j0 < p; j0 += blockSize {
+				j1 := j0 + blockSize
+				if j1 > p {
+					j1 = p
+				}
+				// dst[i][j] += a[i][k0:k1] · b[j][k0:k1] on the tile pair.
+				for i := i0; i < i1; i++ {
+					arow := a.Row(i)[k0:k1]
+					drow := dst.Row(i)
+					for j := j0; j < j1; j++ {
+						drow[j] += dotUnrolled(arow, b.Row(j)[k0:k1])
+					}
+				}
+			}
+		}
+	}
 }
 
 // mulDispatch picks the kernel by problem size.

@@ -15,35 +15,57 @@ func maxWorkers() int {
 	return n
 }
 
-// parallelRows runs fn over row ranges [lo, hi) sharded across workers.
-// Small jobs run inline to avoid goroutine overhead.
-func parallelRows(rows int, minRowsPerWorker int, fn func(lo, hi int)) {
-	workers := maxWorkers()
+// planWorkers returns the number of workers parallelRows will use for a job
+// of rows rows: never more than GOMAXPROCS, and never so many that a worker
+// would own fewer than minRowsPerWorker rows. A result of 1 means the job
+// runs inline on the calling goroutine, with no goroutines and no closure
+// allocation — kernels consult it to keep small jobs allocation-free.
+func planWorkers(rows, minRowsPerWorker int) int {
 	if minRowsPerWorker < 1 {
 		minRowsPerWorker = 1
 	}
-	if rows <= minRowsPerWorker || workers == 1 {
+	w := maxWorkers()
+	if byRows := rows / minRowsPerWorker; byRows < w {
+		w = byRows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelRows runs fn over row ranges [lo, hi) sharded across workers.
+// Small jobs run inline to avoid goroutine overhead. The row range is split
+// into exactly planWorkers(rows, minRowsPerWorker) chunks whose sizes differ
+// by at most one, so every chunk holds at least minRowsPerWorker rows and
+// the number of spawned goroutines never exceeds the worker count.
+func parallelRows(rows int, minRowsPerWorker int, fn func(lo, hi int)) {
+	workers := planWorkers(rows, minRowsPerWorker)
+	if workers == 1 {
 		fn(0, rows)
 		return
 	}
-	if rows/workers < minRowsPerWorker {
-		workers = rows / minRowsPerWorker
-		if workers < 1 {
-			workers = 1
-		}
-	}
+	base, rem := rows/workers, rows%workers
 	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for lo := 0; lo < rows; lo += chunk {
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
+	lo := 0
+	for w := 0; w < workers; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		hi := lo + size
+		if w == workers-1 {
+			// Run the last chunk inline: one fewer goroutine, and the
+			// calling goroutine does useful work while the others run.
+			fn(lo, hi)
+			break
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
 			fn(lo, hi)
 		}(lo, hi)
+		lo = hi
 	}
 	wg.Wait()
 }
@@ -69,27 +91,56 @@ func MatMulInto(dst, a, b *Matrix) {
 
 // matMulSmall is the streaming ikj kernel for small operands.
 func matMulSmall(dst, a, b *Matrix) {
-	n, k, p := a.Rows, a.Cols, b.Cols
+	n := a.Rows
+	if planWorkers(n, 8) == 1 {
+		matMulSmallRange(dst, a, b, 0, n)
+		return
+	}
 	parallelRows(n, 8, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			drow := dst.Data[i*p : (i+1)*p]
+		matMulSmallRange(dst, a, b, lo, hi)
+	})
+}
+
+func matMulSmallRange(dst, a, b *Matrix, lo, hi int) {
+	k, p := a.Cols, b.Cols
+	sb := b.stride()
+	bd := b.Data
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)[:p]
+		for j := range drow {
+			drow[j] = 0
+		}
+		// ikj loop order, eight k-steps fused per pass: each load/store of
+		// the accumulator row carries eight multiply-adds instead of one.
+		kk := 0
+		for ; kk+8 <= k; kk += 8 {
+			a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+			a4, a5, a6, a7 := arow[kk+4], arow[kk+5], arow[kk+6], arow[kk+7]
+			b0 := bd[kk*sb : kk*sb+p]
+			b1 := bd[(kk+1)*sb : (kk+1)*sb+p]
+			b2 := bd[(kk+2)*sb : (kk+2)*sb+p]
+			b3 := bd[(kk+3)*sb : (kk+3)*sb+p]
+			b4 := bd[(kk+4)*sb : (kk+4)*sb+p]
+			b5 := bd[(kk+5)*sb : (kk+5)*sb+p]
+			b6 := bd[(kk+6)*sb : (kk+6)*sb+p]
+			b7 := bd[(kk+7)*sb : (kk+7)*sb+p]
 			for j := range drow {
-				drow[j] = 0
-			}
-			// ikj loop order: stream through b row-wise for locality.
-			for kk := 0; kk < k; kk++ {
-				av := arow[kk]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[kk*p : (kk+1)*p]
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+				drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] +
+					a4*b4[j] + a5*b5[j] + a6*b6[j] + a7*b7[j]
 			}
 		}
-	})
+		for ; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := bd[kk*sb : kk*sb+p]
+			for j := range drow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
 }
 
 // MatMulT returns a × bᵀ. b is given untransposed (rows of b are the columns
@@ -101,7 +152,8 @@ func MatMulT(a, b *Matrix) *Matrix {
 	return out
 }
 
-// MatMulTInto computes dst = a × bᵀ. dst must be a.Rows×b.Rows.
+// MatMulTInto computes dst = a × bᵀ. dst must be a.Rows×b.Rows. Large
+// products dispatch to the cache-blocked kernel, exactly like MatMulInto.
 func MatMulTInto(dst, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT inner dims %d != %d", a.Cols, b.Cols))
@@ -109,21 +161,48 @@ func MatMulTInto(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulT dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	n, k, p := a.Rows, a.Cols, b.Rows
+	if a.Rows*a.Cols*b.Rows >= matMulThreshold {
+		MatMulTBlocked(dst, a, b)
+		return
+	}
+	n := a.Rows
+	if planWorkers(n, 8) == 1 {
+		matMulTSmallRange(dst, a, b, 0, n)
+		return
+	}
 	parallelRows(n, 8, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			drow := dst.Data[i*p : (i+1)*p]
-			for j := 0; j < p; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				var sum float32
-				for kk, av := range arow {
-					sum += av * brow[kk]
-				}
-				drow[j] = sum
-			}
-		}
+		matMulTSmallRange(dst, a, b, lo, hi)
 	})
+}
+
+func matMulTSmallRange(dst, a, b *Matrix, lo, hi int) {
+	p := b.Rows
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < p; j++ {
+			drow[j] = dotUnrolled(arow, b.Row(j))
+		}
+	}
+}
+
+// dotUnrolled is the shared inner product with four independent
+// accumulators, breaking the FP add dependency chain that serializes the
+// naive loop. len(b) must be ≥ len(a).
+func dotUnrolled(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	j := 0
+	b = b[:len(a)]
+	for ; j+4 <= len(a); j += 4 {
+		s0 += a[j] * b[j]
+		s1 += a[j+1] * b[j+1]
+		s2 += a[j+2] * b[j+2]
+		s3 += a[j+3] * b[j+3]
+	}
+	for ; j < len(a); j++ {
+		s0 += a[j] * b[j]
+	}
+	return s0 + s1 + s2 + s3
 }
 
 // Transpose returns mᵀ.

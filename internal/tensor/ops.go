@@ -17,8 +17,11 @@ func AddInPlace(a, b *Matrix) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: Add shape %dx%d != %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	for i, v := range b.Data {
-		a.Data[i] += v
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j, v := range rb {
+			ra[j] += v
+		}
 	}
 }
 
@@ -37,8 +40,11 @@ func AddRowVector(m *Matrix, vec []float32) {
 
 // Scale multiplies every element of m by s in place.
 func Scale(m *Matrix, s float32) {
-	for i := range m.Data {
-		m.Data[i] *= s
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] *= s
+		}
 	}
 }
 
@@ -51,33 +57,88 @@ const NegInf = float32(-1e30)
 // Rows that are entirely masked (all ≤ NegInf/2) become uniform zero rather
 // than NaN so fully masked padding rows stay harmless.
 func SoftmaxRows(m *Matrix) {
+	if planWorkers(m.Rows, 16) == 1 {
+		softmaxRowsRange(m, 0, m.Rows)
+		return
+	}
 	parallelRows(m.Rows, 16, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := m.Row(i)
-			maxv := float32(math.Inf(-1))
-			for _, v := range row {
-				if v > maxv {
-					maxv = v
-				}
-			}
-			if maxv <= NegInf/2 {
-				for j := range row {
-					row[j] = 0
-				}
-				continue
-			}
-			var sum float32
+		softmaxRowsRange(m, lo, hi)
+	})
+}
+
+func softmaxRowsRange(m *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		softmaxRow(m.Row(i))
+	}
+}
+
+// softmaxRow is the shared single-row softmax: stable, and all-zero for
+// fully masked rows.
+func softmaxRow(row []float32) {
+	maxv := float32(math.Inf(-1))
+	for _, v := range row {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if maxv <= NegInf/2 {
+		for j := range row {
+			row[j] = 0
+		}
+		return
+	}
+	var sum float32
+	for j, v := range row {
+		if v <= NegInf/2 {
+			// Masked entry: exp would underflow to exactly 0 anyway, so
+			// skip the call — dense masked rows are mostly this case.
+			row[j] = 0
+			continue
+		}
+		e := float32(math.Exp(float64(v - maxv)))
+		row[j] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for j := range row {
+		row[j] *= inv
+	}
+}
+
+// ScaleMaskSoftmaxRows fuses the attention-score epilogue into one pass per
+// row: m = softmax(m·scale + mask), with mask optional (nil means no mask).
+// Equivalent to Scale + AddInPlace + SoftmaxRows but without the two extra
+// full-matrix memory passes. Fully masked rows become all-zero, matching
+// SoftmaxRows.
+func ScaleMaskSoftmaxRows(m *Matrix, scale float32, mask *Matrix) {
+	if mask != nil && (mask.Rows != m.Rows || mask.Cols != m.Cols) {
+		panic(fmt.Sprintf("tensor: mask %dx%d vs scores %dx%d",
+			mask.Rows, mask.Cols, m.Rows, m.Cols))
+	}
+	if planWorkers(m.Rows, 16) == 1 {
+		scaleMaskSoftmaxRange(m, scale, mask, 0, m.Rows)
+		return
+	}
+	parallelRows(m.Rows, 16, func(lo, hi int) {
+		scaleMaskSoftmaxRange(m, scale, mask, lo, hi)
+	})
+}
+
+func scaleMaskSoftmaxRange(m *Matrix, scale float32, mask *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := m.Row(i)
+		if mask != nil {
+			mrow := mask.Row(i)
 			for j, v := range row {
-				e := float32(math.Exp(float64(v - maxv)))
-				row[j] = e
-				sum += e
+				row[j] = v*scale + mrow[j]
 			}
-			inv := 1 / sum
+		} else if scale != 1 {
 			for j := range row {
-				row[j] *= inv
+				row[j] *= scale
 			}
 		}
-	})
+		softmaxRow(row)
+	}
 }
 
 // LayerNormRows normalizes each row of m in place to zero mean and unit
@@ -87,33 +148,44 @@ func LayerNormRows(m *Matrix, gain, bias []float32, eps float32) {
 	if len(gain) != m.Cols || len(bias) != m.Cols {
 		panic(fmt.Sprintf("tensor: LayerNorm gain/bias len %d/%d != cols %d", len(gain), len(bias), m.Cols))
 	}
+	if planWorkers(m.Rows, 16) == 1 {
+		layerNormRange(m, gain, bias, eps, 0, m.Rows)
+		return
+	}
 	parallelRows(m.Rows, 16, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := m.Row(i)
-			var mean float32
-			for _, v := range row {
-				mean += v
-			}
-			mean /= float32(len(row))
-			var variance float32
-			for _, v := range row {
-				d := v - mean
-				variance += d * d
-			}
-			variance /= float32(len(row))
-			inv := 1 / float32(math.Sqrt(float64(variance+eps)))
-			for j, v := range row {
-				row[j] = (v-mean)*inv*gain[j] + bias[j]
-			}
-		}
+		layerNormRange(m, gain, bias, eps, lo, hi)
 	})
+}
+
+func layerNormRange(m *Matrix, gain, bias []float32, eps float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := m.Row(i)
+		var mean float32
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float32(len(row))
+		var variance float32
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float32(len(row))
+		inv := 1 / float32(math.Sqrt(float64(variance+eps)))
+		for j, v := range row {
+			row[j] = (v-mean)*inv*gain[j] + bias[j]
+		}
+	}
 }
 
 // ReLU applies max(0, x) elementwise in place.
 func ReLU(m *Matrix) {
-	for i, v := range m.Data {
-		if v < 0 {
-			m.Data[i] = 0
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if v < 0 {
+				row[j] = 0
+			}
 		}
 	}
 }
@@ -121,9 +193,12 @@ func ReLU(m *Matrix) {
 // GELU applies the tanh-approximated Gaussian error linear unit in place.
 func GELU(m *Matrix) {
 	const c = 0.7978845608028654 // sqrt(2/pi)
-	for i, v := range m.Data {
-		x := float64(v)
-		m.Data[i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			x := float64(v)
+			row[j] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+		}
 	}
 }
 
@@ -146,8 +221,10 @@ func ArgmaxRows(m *Matrix) []int {
 // SumAbs returns the sum of absolute values of all elements (debug/metrics).
 func SumAbs(m *Matrix) float64 {
 	var s float64
-	for _, v := range m.Data {
-		s += math.Abs(float64(v))
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			s += math.Abs(float64(v))
+		}
 	}
 	return s
 }

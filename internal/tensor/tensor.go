@@ -4,8 +4,10 @@
 //
 // The package is deliberately small and allocation-conscious: every routine
 // that produces a matrix has an "into" variant so hot loops in the inference
-// engine can reuse buffers. Parallel kernels shard rows across a bounded
-// worker pool sized by GOMAXPROCS.
+// engine can reuse buffers, and Workspace provides size-bucketed pooled
+// buffers for fully allocation-free steady-state inference. Parallel kernels
+// shard rows across a bounded worker pool sized by GOMAXPROCS; on a single
+// hardware thread every kernel runs inline with no goroutines.
 package tensor
 
 import (
@@ -13,13 +15,18 @@ import (
 	"math"
 )
 
-// Matrix is a dense row-major float32 matrix.
+// Matrix is a dense row-major float32 matrix, optionally strided.
 //
-// The zero value is an empty 0×0 matrix. Data has length Rows*Cols and
-// element (i, j) lives at Data[i*Cols+j].
+// The zero value is an empty 0×0 matrix. Element (i, j) lives at
+// Data[i*stride+j] where stride is Stride when non-zero and Cols otherwise.
+// A Stride of 0 (the common case) means rows are packed back to back;
+// Stride > Cols arises from ColView, which lets attention address per-head
+// column blocks of a projection without copying them out.
 type Matrix struct {
 	Rows, Cols int
-	Data       []float32
+	// Stride is the row stride in elements; 0 means Cols (contiguous).
+	Stride int
+	Data   []float32
 }
 
 // New returns a zeroed rows×cols matrix.
@@ -39,16 +46,30 @@ func FromSlice(rows, cols int, data []float32) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: data}
 }
 
+// stride returns the effective row stride.
+func (m *Matrix) stride() int {
+	if m.Stride != 0 {
+		return m.Stride
+	}
+	return m.Cols
+}
+
+// Contiguous reports whether the matrix rows are packed back to back, i.e.
+// Data[:Rows*Cols] holds every element in row-major order.
+func (m *Matrix) Contiguous() bool {
+	return m.Stride == 0 || m.Stride == m.Cols || m.Rows <= 1
+}
+
 // At returns element (i, j).
 func (m *Matrix) At(i, j int) float32 {
 	m.check(i, j)
-	return m.Data[i*m.Cols+j]
+	return m.Data[i*m.stride()+j]
 }
 
 // Set assigns element (i, j).
 func (m *Matrix) Set(i, j int, v float32) {
 	m.check(i, j)
-	m.Data[i*m.Cols+j] = v
+	m.Data[i*m.stride()+j] = v
 }
 
 func (m *Matrix) check(i, j int) {
@@ -62,35 +83,62 @@ func (m *Matrix) Row(i int) []float32 {
 	if i < 0 || i >= m.Rows {
 		panic(fmt.Sprintf("tensor: row %d out of range %d", i, m.Rows))
 	}
-	return m.Data[i*m.Cols : (i+1)*m.Cols]
+	s := m.stride()
+	return m.Data[i*s : i*s+m.Cols]
 }
 
-// Clone returns a deep copy of m.
+// Clone returns a deep (contiguous) copy of m.
 func (m *Matrix) Clone() *Matrix {
 	out := New(m.Rows, m.Cols)
-	copy(out.Data, m.Data)
+	out.CopyFrom(m)
 	return out
 }
 
-// CopyFrom copies src into m. Shapes must match.
+// CopyFrom copies src into m. Shapes must match; strides may differ.
 func (m *Matrix) CopyFrom(src *Matrix) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
 		panic(fmt.Sprintf("tensor: CopyFrom shape %dx%d != %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
 	}
-	copy(m.Data, src.Data)
+	if m.Contiguous() && src.Contiguous() {
+		copy(m.Data[:m.Rows*m.Cols], src.Data[:src.Rows*src.Cols])
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Row(i), src.Row(i))
+	}
 }
 
 // Zero sets every element of m to 0.
 func (m *Matrix) Zero() {
-	for i := range m.Data {
-		m.Data[i] = 0
+	if m.Contiguous() {
+		data := m.Data[:m.Rows*m.Cols]
+		for i := range data {
+			data[i] = 0
+		}
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
 	}
 }
 
 // Fill sets every element of m to v.
 func (m *Matrix) Fill(v float32) {
-	for i := range m.Data {
-		m.Data[i] = v
+	if m.Contiguous() {
+		data := m.Data[:m.Rows*m.Cols]
+		for i := range data {
+			data[i] = v
+		}
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = v
+		}
 	}
 }
 
@@ -100,7 +148,9 @@ func (m *Matrix) Slice(r0, r1 int) *Matrix {
 		panic(fmt.Sprintf("tensor: Slice [%d,%d) out of range %d", r0, r1, m.Rows))
 	}
 	out := New(r1-r0, m.Cols)
-	copy(out.Data, m.Data[r0*m.Cols:r1*m.Cols])
+	for i := r0; i < r1; i++ {
+		copy(out.Row(i-r0), m.Row(i))
+	}
 	return out
 }
 
@@ -110,7 +160,71 @@ func (m *Matrix) View(r0, r1 int) *Matrix {
 	if r0 < 0 || r1 > m.Rows || r0 > r1 {
 		panic(fmt.Sprintf("tensor: View [%d,%d) out of range %d", r0, r1, m.Rows))
 	}
-	return &Matrix{Rows: r1 - r0, Cols: m.Cols, Data: m.Data[r0*m.Cols : r1*m.Cols]}
+	s := m.stride()
+	if r0 == r1 {
+		return &Matrix{Rows: 0, Cols: m.Cols, Stride: m.Stride}
+	}
+	return &Matrix{Rows: r1 - r0, Cols: m.Cols, Stride: m.Stride,
+		Data: m.Data[r0*s : (r1-1)*s+m.Cols]}
+}
+
+// ColView returns a sub-matrix sharing storage with m covering columns
+// [c0, c1) of every row. The view is strided: its rows alias m's rows, so
+// mutations through the view are visible in m. This is how attention
+// addresses one head's slice of a projection without copying.
+func (m *Matrix) ColView(c0, c1 int) *Matrix {
+	if c0 < 0 || c1 > m.Cols || c0 > c1 {
+		panic(fmt.Sprintf("tensor: ColView [%d,%d) out of range %d", c0, c1, m.Cols))
+	}
+	s := m.stride()
+	out := &Matrix{Rows: m.Rows, Cols: c1 - c0, Stride: s}
+	if m.Rows > 0 && c1 > c0 {
+		out.Data = m.Data[c0 : (m.Rows-1)*s+c1]
+	}
+	return out
+}
+
+// Resize reshapes m in place to rows×cols, reusing its backing storage.
+// The contents become unspecified. It panics if the backing array is too
+// small; grow-capable callers should use AppendRow or allocate anew.
+func (m *Matrix) Resize(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", rows, cols))
+	}
+	if rows*cols > cap(m.Data) {
+		panic(fmt.Sprintf("tensor: Resize %dx%d exceeds capacity %d", rows, cols, cap(m.Data)))
+	}
+	m.Rows, m.Cols, m.Stride = rows, cols, 0
+	m.Data = m.Data[:rows*cols]
+}
+
+// AppendRow appends one row (len must equal Cols) to a contiguous matrix,
+// growing the backing array geometrically when needed. With pre-reserved
+// capacity the append performs no allocation — the KV-cache hot path.
+func (m *Matrix) AppendRow(row []float32) {
+	if len(row) != m.Cols {
+		panic(fmt.Sprintf("tensor: AppendRow len %d != cols %d", len(row), m.Cols))
+	}
+	if !m.Contiguous() {
+		panic("tensor: AppendRow on strided view")
+	}
+	n := m.Rows * m.Cols
+	if n+m.Cols > cap(m.Data) {
+		grown := make([]float32, n, growCap(n+m.Cols, 2*cap(m.Data)))
+		copy(grown, m.Data[:n])
+		m.Data = grown
+	}
+	m.Data = m.Data[:n+m.Cols]
+	copy(m.Data[n:], row)
+	m.Rows++
+	m.Stride = 0
+}
+
+func growCap(need, doubled int) int {
+	if doubled > need {
+		return doubled
+	}
+	return need
 }
 
 // Equal reports whether m and other have the same shape and elements.
@@ -118,9 +232,12 @@ func (m *Matrix) Equal(other *Matrix) bool {
 	if m.Rows != other.Rows || m.Cols != other.Cols {
 		return false
 	}
-	for i, v := range m.Data {
-		if v != other.Data[i] {
-			return false
+	for i := 0; i < m.Rows; i++ {
+		a, b := m.Row(i), other.Row(i)
+		for j, v := range a {
+			if v != b[j] {
+				return false
+			}
 		}
 	}
 	return true
@@ -132,11 +249,14 @@ func (m *Matrix) AllClose(other *Matrix, tol float64) bool {
 	if m.Rows != other.Rows || m.Cols != other.Cols {
 		return false
 	}
-	for i, v := range m.Data {
-		a, b := float64(v), float64(other.Data[i])
-		diff := math.Abs(a - b)
-		if diff > tol && diff > tol*math.Max(math.Abs(a), math.Abs(b)) {
-			return false
+	for i := 0; i < m.Rows; i++ {
+		ra, rb := m.Row(i), other.Row(i)
+		for j, v := range ra {
+			a, b := float64(v), float64(rb[j])
+			diff := math.Abs(a - b)
+			if diff > tol && diff > tol*math.Max(math.Abs(a), math.Abs(b)) {
+				return false
+			}
 		}
 	}
 	return true
@@ -149,10 +269,13 @@ func (m *Matrix) MaxAbsDiff(other *Matrix) float64 {
 		panic("tensor: MaxAbsDiff shape mismatch")
 	}
 	var worst float64
-	for i, v := range m.Data {
-		d := math.Abs(float64(v) - float64(other.Data[i]))
-		if d > worst {
-			worst = d
+	for i := 0; i < m.Rows; i++ {
+		ra, rb := m.Row(i), other.Row(i)
+		for j, v := range ra {
+			d := math.Abs(float64(v) - float64(rb[j]))
+			if d > worst {
+				worst = d
+			}
 		}
 	}
 	return worst
