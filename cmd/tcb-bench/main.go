@@ -7,6 +7,11 @@
 //
 // With no ids it runs everything: fig09–fig16 plus the ablations. Figures
 // 13–14 run the real Go engine and dominate the runtime.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (the usual
+// `go tool pprof` inputs); -fusedecode=false forces real-engine decode
+// experiments onto the per-row cached decoder for A/B against the fused
+// batch-wide path.
 package main
 
 import (
@@ -14,30 +19,72 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"tcb/internal/experiments"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run holds the whole program so that profile-flushing defers execute on
+// every exit path (os.Exit would skip them).
+func run() error {
 	duration := flag.Float64("duration", 5, "trace length in simulated seconds per data point")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	seeds := flag.Int("seeds", 1, "seeds to average per simulated data point")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonOut := flag.Bool("json", false, "emit one JSON line per figure instead of text tables")
 	csvDir := flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	fuseDecode := flag.Bool("fusedecode", true, "decode through the fused batch-wide path (false = per-row escape hatch)")
 	flag.Parse()
 
-	opt := experiments.Options{Duration: *duration, Seed: *seed, Seeds: *seeds}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	opt := experiments.Options{
+		Duration: *duration, Seed: *seed, Seeds: *seeds,
+		DisableFusedDecode: !*fuseDecode,
+	}
 	if *list {
 		for _, r := range experiments.All(opt) {
 			fmt.Println(r.ID)
 		}
-		return
+		return nil
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 	}
 	want := map[string]bool{}
@@ -50,30 +97,26 @@ func main() {
 		}
 		fig, err := r.Run()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		if *jsonOut {
 			if err := fig.WriteJSON(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 		} else if err := fig.Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		if *csvDir != "" {
 			f, err := os.Create(filepath.Join(*csvDir, r.ID+".csv"))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			if err := fig.WriteCSV(f); err != nil {
 				f.Close()
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			f.Close()
 		}
 	}
+	return nil
 }

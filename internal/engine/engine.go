@@ -14,6 +14,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tcb/internal/batch"
@@ -38,6 +39,14 @@ type Engine struct {
 	// (O(T²)). Outputs are identical; the cache is per segment, so it is
 	// valid under every batching scheme.
 	UseCache bool
+	// FuseDecode (requires UseCache) decodes the whole batch through one
+	// fused BatchDecodeState: per decode step, every row's live segments
+	// advance together through single batch-wide GEMMs per layer — the GEMM
+	// shapes of a real B×L launch — instead of B independent per-row decode
+	// streams. Rows still encode in parallel. Outputs are token-identical
+	// to per-row decoding; New enables it by default, and the tcb-bench
+	// -fusedecode=false escape hatch keeps the per-row path for A/B runs.
+	FuseDecode bool
 	// BytesPerToken is the simulated activation footprint used for the
 	// memory reports (d_model × 4 bytes × a small constant in a real
 	// system; any positive value preserves the comparisons).
@@ -52,7 +61,7 @@ type Engine struct {
 
 // New returns an engine over m generating at most maxNew tokens per request.
 func New(m *model.Model, maxNew int) *Engine {
-	return &Engine{Model: m, MaxNew: maxNew, BytesPerToken: int64(m.Cfg.DModel) * 4}
+	return &Engine{Model: m, MaxNew: maxNew, FuseDecode: true, BytesPerToken: int64(m.Cfg.DModel) * 4}
 }
 
 // Result is the output for one request.
@@ -97,7 +106,10 @@ func (e *Engine) Run(b *batch.Batch, tokens map[int64][]int) (*Report, error) {
 	}
 
 	if e.Mem != nil && b.TotalTokens() > 0 {
-		tag := fmt.Sprintf("batch-%p", b)
+		// Tag by a fresh launch id, not the batch pointer: concurrent Run
+		// calls on the same *batch.Batch would collide on Alloc/Free under
+		// a pointer-derived tag.
+		tag := fmt.Sprintf("launch-%d", launchSeq.Add(1))
 		if err := e.Mem.Alloc(tag, int64(b.TotalTokens())*e.BytesPerToken); err != nil {
 			return nil, err
 		}
@@ -107,32 +119,21 @@ func (e *Engine) Run(b *batch.Batch, tokens map[int64][]int) (*Report, error) {
 	}
 
 	start := time.Now()
-	type rowOut struct {
-		results []Result
-		err     error
+	var results []Result
+	var runErr error
+	if e.MaxNew > 0 && e.UseCache && e.FuseDecode {
+		results, runErr = e.runFused(b, tokens, mode)
+	} else {
+		results, runErr = e.runPerRow(b, tokens, mode)
 	}
-	outs := make([]rowOut, len(b.Rows))
-	var wg sync.WaitGroup
-	for ri := range b.Rows {
-		wg.Add(1)
-		go func(ri int) {
-			defer wg.Done()
-			res, err := e.runRow(b, b.Rows[ri], tokens, mode)
-			outs[ri] = rowOut{res, err}
-		}(ri)
+	if runErr != nil {
+		return nil, runErr
 	}
-	wg.Wait()
 
-	rep := &Report{Elapsed: time.Since(start)}
+	rep := &Report{Elapsed: time.Since(start), Results: results}
 	finish := make(map[int64]int)
-	for _, o := range outs {
-		if o.err != nil {
-			return nil, o.err
-		}
-		rep.Results = append(rep.Results, o.results...)
-		for _, r := range o.results {
-			finish[r.ID] = r.Steps
-		}
+	for _, r := range results {
+		finish[r.ID] = r.Steps
 	}
 	if e.MaxNew > 0 && len(rep.Results) > 0 {
 		whole, err := gpu.SimulateWholeBatchCleaning(b, finish, e.BytesPerToken)
@@ -152,14 +153,14 @@ func (e *Engine) Run(b *batch.Batch, tokens map[int64][]int) (*Report, error) {
 	return rep, nil
 }
 
-// runRow executes one batch row: concatenate the items' tokens, encode,
-// decode, split results back per item.
-func (e *Engine) runRow(b *batch.Batch, row batch.Row, tokens map[int64][]int, mode model.AttentionMode) ([]Result, error) {
-	if len(row.Items) == 0 {
-		return nil, nil
-	}
+// launchSeq numbers engine launches process-wide for memory-manager tags.
+var launchSeq atomic.Uint64
+
+// rowLayout concatenates a row's item tokens, pads to the row capacity and
+// builds the layout plus (for slotted batches) the slot descriptors.
+func (e *Engine) rowLayout(b *batch.Batch, row batch.Row, tokens map[int64][]int, mode model.AttentionMode) (rowTokens []int, layout model.RowLayout, slots []model.Slot) {
 	lengths := make([]int, len(row.Items))
-	rowTokens := make([]int, 0, row.PadTo)
+	rowTokens = make([]int, 0, row.PadTo)
 	for i, it := range row.Items {
 		lengths[i] = it.Len
 		rowTokens = append(rowTokens, tokens[it.ID]...)
@@ -167,12 +168,114 @@ func (e *Engine) runRow(b *batch.Batch, row batch.Row, tokens map[int64][]int, m
 	for len(rowTokens) < row.PadTo {
 		rowTokens = append(rowTokens, vocab.PadID)
 	}
-	layout := model.ConcatLayout(lengths, row.PadTo)
-
-	var slots []model.Slot
+	layout = model.ConcatLayout(lengths, row.PadTo)
 	if mode == model.AttSlotted {
 		slots = e.slotsForRow(b, row, layout)
 	}
+	return rowTokens, layout, slots
+}
+
+// rowCaps returns the per-item generation caps of a row (MaxNew clamped by
+// OutputCap).
+func (e *Engine) rowCaps(row batch.Row) []int {
+	caps := make([]int, len(row.Items))
+	for i, it := range row.Items {
+		caps[i] = e.MaxNew
+		if e.OutputCap != nil {
+			if c := e.OutputCap(it.Len); c < caps[i] {
+				caps[i] = c
+			}
+		}
+		if caps[i] < 0 {
+			caps[i] = 0
+		}
+	}
+	return caps
+}
+
+// runPerRow executes every batch row end to end in its own goroutine — the
+// batch dimension of a real GPU launch, and the escape-hatch decode path
+// when fused decoding is disabled.
+func (e *Engine) runPerRow(b *batch.Batch, tokens map[int64][]int, mode model.AttentionMode) ([]Result, error) {
+	type rowOut struct {
+		results []Result
+		err     error
+	}
+	outs := make([]rowOut, len(b.Rows))
+	var wg sync.WaitGroup
+	for ri := range b.Rows {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			res, err := e.runRow(b, b.Rows[ri], tokens, mode)
+			outs[ri] = rowOut{res, err}
+		}(ri)
+	}
+	wg.Wait()
+	var results []Result
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		results = append(results, o.results...)
+	}
+	return results, nil
+}
+
+// runFused executes the batch with a batch-wide fused decode: rows encode in
+// parallel as before, then every row's segments decode together through one
+// BatchDecodeState — one GEMM per layer per step across all rows instead of
+// one small-GEMM stream per row.
+func (e *Engine) runFused(b *batch.Batch, tokens map[int64][]int, mode model.AttentionMode) ([]Result, error) {
+	// Skip empty rows but keep batch-row order for the results.
+	rows := make([]batch.Row, 0, len(b.Rows))
+	for _, row := range b.Rows {
+		if len(row.Items) > 0 {
+			rows = append(rows, row)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	decRows := make([]model.BatchDecodeRow, len(rows))
+	caps := make([][]int, len(rows))
+	var wg sync.WaitGroup
+	for ri := range rows {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			rowTokens, layout, slots := e.rowLayout(b, rows[ri], tokens, mode)
+			ws := tensor.NewWorkspace()
+			defer ws.Close()
+			decRows[ri] = model.BatchDecodeRow{
+				EncOut: e.Model.EncodeRowWS(rowTokens, layout, slots, mode, true, ws),
+				Layout: layout,
+			}
+			caps[ri] = e.rowCaps(rows[ri])
+		}(ri)
+	}
+	wg.Wait()
+
+	gen, err := e.Model.GenerateBatchCached(decRows, caps)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	for ri, row := range rows {
+		for i, it := range row.Items {
+			results = append(results, Result{ID: it.ID, Output: gen[ri][i].Tokens, Steps: gen[ri][i].Steps})
+		}
+	}
+	return results, nil
+}
+
+// runRow executes one batch row: concatenate the items' tokens, encode,
+// decode, split results back per item.
+func (e *Engine) runRow(b *batch.Batch, row batch.Row, tokens map[int64][]int, mode model.AttentionMode) ([]Result, error) {
+	if len(row.Items) == 0 {
+		return nil, nil
+	}
+	rowTokens, layout, slots := e.rowLayout(b, row, tokens, mode)
 	// One workspace per row goroutine: layer intermediates are checked out
 	// and released inside the encoder/decoder, and the buffers themselves
 	// are recycled across batches through the package pool.
@@ -186,18 +289,7 @@ func (e *Engine) runRow(b *batch.Batch, row batch.Row, tokens map[int64][]int, m
 		}
 		return out, nil
 	}
-	caps := make([]int, len(row.Items))
-	for i, it := range row.Items {
-		caps[i] = e.MaxNew
-		if e.OutputCap != nil {
-			if c := e.OutputCap(it.Len); c < caps[i] {
-				caps[i] = c
-			}
-		}
-		if caps[i] < 0 {
-			caps[i] = 0
-		}
-	}
+	caps := e.rowCaps(row)
 	var gen []model.GenerateResult
 	if e.UseCache {
 		var err error

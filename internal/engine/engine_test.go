@@ -447,3 +447,111 @@ func TestMemoryBudgetEnforced(t *testing.T) {
 		t.Fatal("over-budget batch should fail")
 	}
 }
+
+// The fused batch-wide decode path must be token-identical to the per-row
+// cached path and the mask-based no-cache path, across all three batching
+// schemes. Steps must match too (finish accounting feeds the memory model).
+func TestFusedDecodeMatchesPerRow(t *testing.T) {
+	src := rng.New(50)
+	tokens, items := makeRequests(src, 4, 7, 3, 5, 2, 6)
+	nb, rest1 := batch.PackNaive(items, 8, 64)
+	cb, rest2 := batch.PackConcat(items, 2, 16)
+	sb, rest3 := batch.PackSlotted(items, 2, 16, 8)
+	if len(rest1)+len(rest2)+len(rest3) != 0 {
+		t.Fatal("packing left requests behind")
+	}
+	packs := []struct {
+		name string
+		b    *batch.Batch
+	}{{"naive", nb}, {"concat", cb}, {"slotted", sb}}
+	for _, tc := range packs {
+		t.Run(tc.name, func(t *testing.T) {
+			fused := testEngine(t, 5)
+			fused.UseCache = true // FuseDecode already true from New
+			perRow := testEngine(t, 5)
+			perRow.UseCache = true
+			perRow.FuseDecode = false
+			masked := testEngine(t, 5) // UseCache false: mask-based decode
+
+			rf, err := fused.Run(tc.b, tokens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := perRow.Run(tc.b, tokens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rm, err := masked.Run(tc.b, tokens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type out struct {
+				tokens []int
+				steps  int
+			}
+			index := func(rep *Report) map[int64]out {
+				m := make(map[int64]out)
+				for _, r := range rep.Results {
+					m[r.ID] = out{r.Output, r.Steps}
+				}
+				return m
+			}
+			pf, pp, pm := index(rf), index(rp), index(rm)
+			if len(pf) != len(items) {
+				t.Fatalf("fused returned %d results, want %d", len(pf), len(items))
+			}
+			for id, f := range pf {
+				p, m := pp[id], pm[id]
+				if !equalInts(f.tokens, p.tokens) || f.steps != p.steps {
+					t.Fatalf("request %d: fused %v/%d vs per-row %v/%d", id, f.tokens, f.steps, p.tokens, p.steps)
+				}
+				if !equalInts(f.tokens, m.tokens) || f.steps != m.steps {
+					t.Fatalf("request %d: fused %v/%d vs masked %v/%d", id, f.tokens, f.steps, m.tokens, m.steps)
+				}
+			}
+		})
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent Run calls on the SAME *batch.Batch must not collide in the
+// memory manager: the launch tag is a process-wide counter, not the batch
+// pointer.
+func TestConcurrentRunsShareBatch(t *testing.T) {
+	e := testEngine(t, 0)
+	src := rng.New(51)
+	tokens, items := makeRequests(src, 5, 5)
+	b, _ := batch.PackConcat(items, 1, 10)
+	// Budget two simultaneous launches of this batch.
+	e.Mem = gpu.NewMemoryManager(2 * 10 * e.BytesPerToken)
+	const launches = 2
+	errs := make(chan error, launches)
+	start := make(chan struct{})
+	for i := 0; i < launches; i++ {
+		go func() {
+			<-start
+			_, err := e.Run(b, tokens)
+			errs <- err
+		}()
+	}
+	close(start)
+	for i := 0; i < launches; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent launch failed: %v", err)
+		}
+	}
+	if e.Mem.Used() != 0 || e.Mem.Outstanding() != 0 {
+		t.Fatalf("memory leaked: used=%d outstanding=%d", e.Mem.Used(), e.Mem.Outstanding())
+	}
+}

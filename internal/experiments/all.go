@@ -34,7 +34,8 @@ func All(opt Options) []Runner {
 		{"ext-weighted", func() (*Figure, error) { return ExtWeighted(opt) }},
 		{"ablation-eta", func() (*Figure, error) { return AblationEta(opt) }},
 		{"ablation-slot-policy", func() (*Figure, error) { return AblationSlotPolicy(opt) }},
-		{"ablation-early-cleaning", func() (*Figure, error) { return AblationEarlyCleaning() }},
+		{"ablation-early-cleaning", func() (*Figure, error) { return AblationEarlyCleaning(opt) }},
+		{"ext-fused-decode", func() (*Figure, error) { return ExtFusedDecode(opt) }},
 		{"ablation-packing", func() (*Figure, error) { return AblationPacking() }},
 	}
 }

@@ -266,7 +266,7 @@ func TestAblationSlotPolicyAdaptiveCompetitive(t *testing.T) {
 }
 
 func TestAblationEarlyCleaning(t *testing.T) {
-	fig, err := AblationEarlyCleaning()
+	fig, err := AblationEarlyCleaning(fastOpt())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,6 +276,32 @@ func TestAblationEarlyCleaning(t *testing.T) {
 		if early > whole {
 			t.Fatalf("early cleaning used more byte-steps (%v > %v) at B=%v",
 				early, whole, fig.X[i])
+		}
+	}
+}
+
+func TestExtFusedDecode(t *testing.T) {
+	fig, err := ExtFusedDecode(fastOpt())
+	if err != nil {
+		t.Fatal(err) // includes the internal fused-vs-per-row token check
+	}
+	for i := range fig.X {
+		sp, _ := fig.Get("speedup", i)
+		if sp <= 0 {
+			t.Fatalf("speedup %v at B=%v", sp, fig.X[i])
+		}
+	}
+	// Escape hatch: the figure must still validate with fusing disabled.
+	off := fastOpt()
+	off.DisableFusedDecode = true
+	fig, err = ExtFusedDecode(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fig.X {
+		sp, _ := fig.Get("speedup", i)
+		if sp != 1 {
+			t.Fatalf("disabled fusing must report 1x, got %v", sp)
 		}
 	}
 }

@@ -16,6 +16,11 @@ type Options struct {
 	// curves. 0 and 1 both mean a single seed. Real-engine figures
 	// (13–14) ignore it — their noise is wall-clock, handled by Reps.
 	Seeds int
+	// DisableFusedDecode is the escape hatch behind tcb-bench's
+	// -fusedecode=false: real-engine experiments that decode through the
+	// KV cache fall back to the per-row decoder instead of the batch-wide
+	// fused one. Outputs are token-identical either way; only timing moves.
+	DisableFusedDecode bool
 }
 
 // DefaultOptions runs each point over a 5-second trace.

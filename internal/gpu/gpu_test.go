@@ -56,7 +56,7 @@ func TestMemoryManagerErrors(t *testing.T) {
 
 func TestMemoryManagerUnlimited(t *testing.T) {
 	m := NewMemoryManager(0)
-	if err := m.Alloc("big", 1 << 50); err != nil {
+	if err := m.Alloc("big", 1<<50); err != nil {
 		t.Fatalf("unlimited manager rejected alloc: %v", err)
 	}
 }

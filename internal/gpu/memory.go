@@ -8,10 +8,16 @@
 // loading overlap the current batch's tail.
 package gpu
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
-// MemoryManager tracks simulated device-memory allocations in bytes.
+// MemoryManager tracks simulated device-memory allocations in bytes. It is
+// safe for concurrent use: the engine allocates and frees batch tags from
+// concurrent Run calls.
 type MemoryManager struct {
+	mu       sync.Mutex
 	capacity int64
 	used     int64
 	peak     int64
@@ -27,6 +33,8 @@ func NewMemoryManager(capacity int64) *MemoryManager {
 // Alloc reserves bytes under the given tag. It fails on duplicate tags,
 // non-positive sizes, or capacity exhaustion.
 func (m *MemoryManager) Alloc(tag string, bytes int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if bytes <= 0 {
 		return fmt.Errorf("gpu: alloc %q of %d bytes", tag, bytes)
 	}
@@ -48,6 +56,8 @@ func (m *MemoryManager) Alloc(tag string, bytes int64) error {
 // Free releases the allocation under tag. Freeing an unknown tag is an
 // error (double-free detection).
 func (m *MemoryManager) Free(tag string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	bytes, ok := m.allocs[tag]
 	if !ok {
 		return fmt.Errorf("gpu: free of unknown tag %q", tag)
@@ -58,16 +68,32 @@ func (m *MemoryManager) Free(tag string) error {
 }
 
 // Used returns the bytes currently allocated.
-func (m *MemoryManager) Used() int64 { return m.used }
+func (m *MemoryManager) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
 
 // Peak returns the high-water mark of Used since construction (or ResetPeak).
-func (m *MemoryManager) Peak() int64 { return m.peak }
+func (m *MemoryManager) Peak() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
 
 // Capacity returns the configured capacity (0 = unlimited).
 func (m *MemoryManager) Capacity() int64 { return m.capacity }
 
 // Outstanding returns the number of live allocations.
-func (m *MemoryManager) Outstanding() int { return len(m.allocs) }
+func (m *MemoryManager) Outstanding() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.allocs)
+}
 
 // ResetPeak sets the high-water mark to the current usage.
-func (m *MemoryManager) ResetPeak() { m.peak = m.used }
+func (m *MemoryManager) ResetPeak() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.peak = m.used
+}

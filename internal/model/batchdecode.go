@@ -1,0 +1,374 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"tcb/internal/tensor"
+	"tcb/internal/vocab"
+)
+
+// BatchDecodeRow pairs one batch row's encoder output with its layout — the
+// unit the fused batch decoder consumes.
+type BatchDecodeRow struct {
+	EncOut *tensor.Matrix
+	Layout RowLayout
+}
+
+// BatchDecodeState is the batch-wide fused form of the KV-cached incremental
+// decoder: it owns every segment of every batch row at once. Per decode step
+// it gathers all live segments — across all rows — into one totalLive×d
+// hidden-state matrix and runs the WQ/WK/WV/WO projections, the FFN and the
+// output logits as single batch-wide GEMMs per layer, recovering the GEMM
+// shapes a real B×L device launch would see instead of B independent
+// small-GEMM streams. Only the attention itself stays ragged: each segment's
+// KV cache has its own length, so self- and cross-attention run through the
+// segment-bounded strided-batch kernel (tensor.AttendCachedRows), which
+// shards the independent rows across the worker pool.
+//
+// Row boundaries carry no mathematical meaning here — a segment's keys,
+// values and positions are all its own, exactly the isolation ConcatBatching
+// established — so fusing rows changes GEMM height only and results are
+// token-identical to per-row decoding (tested to exact equality; the matmul
+// kernels keep per-row accumulation order independent of GEMM height to make
+// the match bitwise).
+//
+// All step buffers and KV caches are allocated at construction, so a warm
+// state performs zero heap allocations per Step — the batch-wide analogue of
+// DecodeState's property, pinned by the same AllocsPerRun regression tests.
+type BatchDecodeState struct {
+	m    *Model
+	nSeg int
+	// rowStart[r] is the flat index of row r's first segment; the last entry
+	// is nSeg. Flat segment order is row-major: row 0's segments, row 1's, …
+	rowStart []int
+
+	layers []*batchLayerCache
+
+	prefixLen []int  // tokens decoded so far per flat segment (BOS included)
+	finished  []bool // segment has emitted EOS or hit its cap
+
+	// Preallocated step buffers, resized (never reallocated) to the number
+	// of live segments each Step.
+	x      *tensor.Matrix // live × dModel hidden states
+	q      *tensor.Matrix // live × dModel projection scratch
+	attn   *tensor.Matrix // live × dModel attention output
+	proj   *tensor.Matrix // live × dModel WO projection / FFN output
+	ff     *tensor.Matrix // live × dFF FFN hidden
+	logits *tensor.Matrix // live × vocab output logits
+
+	scores *tensor.Matrix // per-live-row attention scratch
+	live   []int          // live flat segment indices, rebuilt each Step
+	embIdx []int          // live row's token id (embedding gather index)
+	posIdx []int          // live row's decode position (PosEnc gather index)
+	out    [][]float32
+}
+
+// batchLayerCache holds one decoder layer's attention caches across every
+// flat segment of the batch.
+type batchLayerCache struct {
+	// selfK[i] / selfV[i]: cached projected key/value rows (d wide) of flat
+	// segment i, one row per decoded position, capacity reserved up front.
+	selfK, selfV []*tensor.Matrix
+	// crossK[i] / crossV[i]: fixed projected encoder keys/values of flat
+	// segment i.
+	crossK, crossV []*tensor.Matrix
+	// k, v hold the step's batch-wide key/value projections before they are
+	// scattered into the per-segment caches.
+	k, v *tensor.Matrix
+}
+
+// NewBatchDecodeState precomputes every row's cross-attention caches,
+// reserves per-step buffers and KV caches for the model's MaxLen bound, and
+// returns a state ready for Step. Callers that know their generation cap
+// should prefer GenerateBatchCached, which reserves only what the caps need.
+func (m *Model) NewBatchDecodeState(rows []BatchDecodeRow) *BatchDecodeState {
+	return m.newBatchDecodeState(rows, m.P.PosEnc.Rows)
+}
+
+// newBatchDecodeState is NewBatchDecodeState with an explicit KV-cache
+// reservation (rows per segment, clamped to [1, MaxLen]). Stepping past the
+// reservation stays correct — AppendRow grows — but allocates; generation
+// loops pass their exact step bound to keep the warm path allocation-free
+// without reserving MaxLen rows per segment per layer.
+func (m *Model) newBatchDecodeState(rows []BatchDecodeRow, reserve int) *BatchDecodeState {
+	maxLen := m.P.PosEnc.Rows // Step rejects positions beyond this bound
+	if reserve > maxLen {
+		reserve = maxLen
+	}
+	if reserve < 1 {
+		reserve = 1
+	}
+	d := m.Cfg.DModel
+	rowStart := make([]int, len(rows)+1)
+	nSeg := 0
+	for r, row := range rows {
+		rowStart[r] = nSeg
+		nSeg += len(row.Layout.Segments)
+	}
+	rowStart[len(rows)] = nSeg
+	s := &BatchDecodeState{
+		m:         m,
+		nSeg:      nSeg,
+		rowStart:  rowStart,
+		prefixLen: make([]int, nSeg),
+		finished:  make([]bool, nSeg),
+		x:         tensor.New(nSeg, d),
+		q:         tensor.New(nSeg, d),
+		attn:      tensor.New(nSeg, d),
+		proj:      tensor.New(nSeg, d),
+		ff:        tensor.New(nSeg, m.Cfg.DFF),
+		logits:    tensor.New(nSeg, m.Cfg.VocabSize),
+		live:      make([]int, 0, nSeg),
+		embIdx:    make([]int, 0, nSeg),
+		posIdx:    make([]int, 0, nSeg),
+		out:       make([][]float32, nSeg),
+	}
+	scoreLen := maxLen
+	for _, row := range rows {
+		for _, seg := range row.Layout.Segments {
+			if seg.Len > scoreLen {
+				scoreLen = seg.Len
+			}
+		}
+	}
+	if nSeg > 0 {
+		s.scores = tensor.New(nSeg, scoreLen)
+	} else {
+		s.scores = tensor.New(1, 1)
+	}
+	for range m.P.Decoder {
+		lc := &batchLayerCache{
+			selfK:  make([]*tensor.Matrix, nSeg),
+			selfV:  make([]*tensor.Matrix, nSeg),
+			crossK: make([]*tensor.Matrix, nSeg),
+			crossV: make([]*tensor.Matrix, nSeg),
+			k:      tensor.New(nSeg, d),
+			v:      tensor.New(nSeg, d),
+		}
+		for i := 0; i < nSeg; i++ {
+			lc.selfK[i] = &tensor.Matrix{Cols: d, Data: make([]float32, 0, reserve*d)}
+			lc.selfV[i] = &tensor.Matrix{Cols: d, Data: make([]float32, 0, reserve*d)}
+		}
+		s.layers = append(s.layers, lc)
+	}
+	for li, layer := range m.P.Decoder {
+		lc := s.layers[li]
+		for r, row := range rows {
+			if len(row.Layout.Segments) == 0 {
+				continue
+			}
+			k := layer.CrossAttn.WK.Apply(row.EncOut)
+			v := layer.CrossAttn.WV.Apply(row.EncOut)
+			base := rowStart[r]
+			for si, seg := range row.Layout.Segments {
+				lc.crossK[base+si] = k.Slice(seg.Start, seg.End())
+				lc.crossV[base+si] = v.Slice(seg.Start, seg.End())
+			}
+		}
+	}
+	return s
+}
+
+// Segments returns the total number of flat segments across all rows.
+func (s *BatchDecodeState) Segments() int { return s.nSeg }
+
+// RowSpan returns the half-open flat segment range [lo, hi) of batch row r.
+func (s *BatchDecodeState) RowSpan(r int) (lo, hi int) {
+	return s.rowStart[r], s.rowStart[r+1]
+}
+
+// Finished reports whether flat segment i has stopped decoding.
+func (s *BatchDecodeState) Finished(i int) bool { return s.finished[i] }
+
+// MarkFinished stops flat segment i (cap reached or EOS seen by the caller).
+func (s *BatchDecodeState) MarkFinished(i int) { s.finished[i] = true }
+
+// AllFinished reports whether every segment has stopped.
+func (s *BatchDecodeState) AllFinished() bool {
+	for _, f := range s.finished {
+		if !f {
+			return false
+		}
+	}
+	return true
+}
+
+// Step feeds one token per flat segment (tokens[i] is ignored for finished
+// segments) and returns the vocabulary logits for each live segment (nil
+// rows for finished ones). The first call must pass vocab.BosID for every
+// segment. The returned slices alias the state's internal logits buffer and
+// are valid only until the next Step call; callers that need them longer
+// must copy.
+func (s *BatchDecodeState) Step(tokens []int) ([][]float32, error) {
+	if len(tokens) != s.nSeg {
+		return nil, fmt.Errorf("model: Step got %d tokens for %d segments", len(tokens), s.nSeg)
+	}
+	// Gather the live segments, validating before any state mutation.
+	s.live = s.live[:0]
+	for i := 0; i < s.nSeg; i++ {
+		if s.finished[i] {
+			continue
+		}
+		if tokens[i] < 0 || tokens[i] >= s.m.Cfg.VocabSize {
+			return nil, fmt.Errorf("model: token %d out of vocabulary", tokens[i])
+		}
+		if s.prefixLen[i] >= s.m.P.PosEnc.Rows {
+			return nil, fmt.Errorf("model: segment %d position %d beyond MaxLen", i, s.prefixLen[i])
+		}
+		s.live = append(s.live, i)
+	}
+	live := s.live
+	for i := range s.out {
+		s.out[i] = nil
+	}
+	if len(live) == 0 {
+		return s.out, nil
+	}
+	// Gather every live segment's token embedding and positional encoding
+	// into one batch-wide hidden-state matrix — separate positional encoding
+	// per segment, by construction.
+	d := s.m.Cfg.DModel
+	n := len(live)
+	s.embIdx = s.embIdx[:0]
+	s.posIdx = s.posIdx[:0]
+	for _, i := range live {
+		s.embIdx = append(s.embIdx, tokens[i])
+		s.posIdx = append(s.posIdx, s.prefixLen[i])
+		s.prefixLen[i]++
+	}
+	x := s.x
+	x.Resize(n, d)
+	tensor.GatherRowsInto(x, s.m.P.Embedding, s.embIdx)
+	tensor.GatherAddRowsInto(x, s.m.P.PosEnc, s.posIdx)
+
+	heads := s.m.Cfg.NumHeads
+	dh := s.m.Cfg.HeadDim()
+	scale := attnScale(dh)
+	q, attn, proj := s.q, s.attn, s.proj
+	q.Resize(n, d)
+	attn.Resize(n, d)
+	proj.Resize(n, d)
+	for li, layer := range s.m.P.Decoder {
+		cache := s.layers[li]
+		// Self-attention: batch-wide Q/K/V projections, ragged per-segment
+		// caches (causal by construction: a cache only holds the past).
+		k, v := cache.k, cache.v
+		k.Resize(n, d)
+		v.Resize(n, d)
+		layer.SelfAttn.WQ.ApplyInto(q, x)
+		layer.SelfAttn.WK.ApplyInto(k, x)
+		layer.SelfAttn.WV.ApplyInto(v, x)
+		tensor.ScatterAppendRows(cache.selfK, k, live)
+		tensor.ScatterAppendRows(cache.selfV, v, live)
+		tensor.AttendCachedRows(attn, q, cache.selfK, cache.selfV, live, heads, dh, scale, s.scores)
+		layer.SelfAttn.WO.ApplyInto(proj, attn)
+		tensor.AddInPlace(x, proj)
+		layer.Norm1.Apply(x)
+
+		// Cross-attention against the fixed encoder cache of the own
+		// segment only.
+		layer.CrossAttn.WQ.ApplyInto(q, x)
+		tensor.AttendCachedRows(attn, q, cache.crossK, cache.crossV, live, heads, dh, scale, s.scores)
+		layer.CrossAttn.WO.ApplyInto(proj, attn)
+		tensor.AddInPlace(x, proj)
+		layer.Norm2.Apply(x)
+
+		ff := s.ff
+		ff.Resize(n, s.m.Cfg.DFF)
+		layer.FFN.In.ApplyInto(ff, x)
+		tensor.ReLU(ff)
+		layer.FFN.Out.ApplyInto(proj, ff)
+		tensor.AddInPlace(x, proj)
+		layer.Norm3.Apply(x)
+	}
+
+	s.logits.Resize(n, s.m.Cfg.VocabSize)
+	s.m.P.OutProj.ApplyInto(s.logits, x)
+	for r, i := range live {
+		s.out[i] = s.logits.Row(r)
+	}
+	return s.out, nil
+}
+
+// GenerateBatchCached greedily decodes every row of a batch through one
+// fused BatchDecodeState: per decode step, all rows' live segments advance
+// together through batch-wide GEMMs. caps[r][i] bounds generation for row
+// r's segment i. Results mirror the input shape and are token-identical to
+// running GenerateRowCached on each row independently.
+func (m *Model) GenerateBatchCached(rows []BatchDecodeRow, caps [][]int) ([][]GenerateResult, error) {
+	if len(caps) != len(rows) {
+		return nil, fmt.Errorf("model: %d cap rows for %d batch rows", len(caps), len(rows))
+	}
+	flatCaps := make([]int, 0, len(rows))
+	maxNew := 0
+	for r, row := range rows {
+		if len(caps[r]) != len(row.Layout.Segments) {
+			return nil, fmt.Errorf("model: row %d has %d caps for %d segments",
+				r, len(caps[r]), len(row.Layout.Segments))
+		}
+		for _, c := range caps[r] {
+			flatCaps = append(flatCaps, c)
+			if c > maxNew {
+				maxNew = c
+			}
+		}
+	}
+	st := m.newBatchDecodeState(rows, maxNew)
+	flat, err := greedyDecode(st, flatCaps, maxNew)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]GenerateResult, len(rows))
+	for r := range rows {
+		lo, hi := st.RowSpan(r)
+		out[r] = flat[lo:hi:hi]
+	}
+	return out, nil
+}
+
+// greedyDecode runs the shared greedy decoding loop over a (batch or
+// single-row) decode state: one token per unfinished segment per step,
+// argmax selection, EOS or the per-segment cap stopping each segment.
+func greedyDecode(st *BatchDecodeState, caps []int, maxNew int) ([]GenerateResult, error) {
+	nSeg := st.Segments()
+	if len(caps) != nSeg {
+		return nil, fmt.Errorf("model: %d caps for %d segments", len(caps), nSeg)
+	}
+	results := make([]GenerateResult, nSeg)
+	next := make([]int, nSeg)
+	for i := range next {
+		next[i] = vocab.BosID
+		if caps[i] <= 0 {
+			st.MarkFinished(i)
+		}
+	}
+	for step := 0; step < maxNew && !st.AllFinished(); step++ {
+		logits, err := st.Step(next)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < nSeg; i++ {
+			if st.Finished(i) || logits[i] == nil {
+				continue
+			}
+			best, bestj := float32(math.Inf(-1)), 0
+			for j, v := range logits[i] {
+				if v > best {
+					best, bestj = v, j
+				}
+			}
+			results[i].Steps = step + 1
+			if bestj == vocab.EosID {
+				st.MarkFinished(i)
+				continue
+			}
+			results[i].Tokens = append(results[i].Tokens, bestj)
+			next[i] = bestj
+			if len(results[i].Tokens) >= caps[i] {
+				st.MarkFinished(i)
+			}
+		}
+	}
+	return results, nil
+}

@@ -2,10 +2,8 @@ package model
 
 import (
 	"fmt"
-	"math"
 
 	"tcb/internal/tensor"
-	"tcb/internal/vocab"
 )
 
 // DecodeState is the KV-cached incremental decoder for one (possibly
@@ -20,119 +18,34 @@ import (
 // block-diagonal mask would have exposed, so cached decoding produces the
 // same tokens as mask-based decoding (tested to exact token equality).
 //
-// All step buffers and KV caches are allocated once at construction, sized
-// by the model's MaxLen bound on decode positions, so a warm state performs
-// zero heap allocations per Step — the property the alloc regression tests
-// pin down.
+// Since that isolation is per segment, nothing distinguishes "the segments
+// of one row" from "the segments of many rows": DecodeState is simply the
+// one-row view of BatchDecodeState, which fuses every row of a batch into
+// batch-wide GEMMs per step. All step buffers and KV caches are allocated
+// once at construction, sized by the model's MaxLen bound on decode
+// positions, so a warm state performs zero heap allocations per Step — the
+// property the alloc regression tests pin down.
 type DecodeState struct {
-	m         *Model
-	encLayout RowLayout
-	nSeg      int
-
-	// Per decoder layer caches.
-	layers []*layerCache
-
-	prefixLen []int  // tokens decoded so far per segment (BOS included)
-	finished  []bool // segment has emitted EOS or hit its cap
-
-	// Preallocated step buffers, resized (never reallocated) to the number
-	// of live segments each Step.
-	x      *tensor.Matrix // live × dModel hidden states
-	q      *tensor.Matrix // live × dModel projection scratch
-	attn   *tensor.Matrix // live × dModel attention output
-	proj   *tensor.Matrix // live × dModel WO projection / FFN output
-	ff     *tensor.Matrix // live × dFF FFN hidden
-	logits *tensor.Matrix // live × vocab output logits
-
-	scores []float32 // attention scratch, one cache's worth of weights
-	live   []int     // live segment indices, rebuilt each Step
-	out    [][]float32
-}
-
-// layerCache holds one decoder layer's attention caches.
-type layerCache struct {
-	// selfK[i] / selfV[i]: cached projected key/value rows (d wide) of
-	// segment i, one row per decoded position. Capacity is reserved up
-	// front (MaxLen rows), so appends never reallocate.
-	selfK, selfV []*tensor.Matrix
-	// crossK[i] / crossV[i]: fixed projected encoder keys/values of
-	// segment i.
-	crossK, crossV []*tensor.Matrix
-	// kv holds freshly projected keys and values for the step's live rows
-	// before they are appended to the per-segment caches.
-	k, v *tensor.Matrix
+	b *BatchDecodeState
 }
 
 // NewDecodeState precomputes the cross-attention caches from the encoder
 // output, reserves every per-step buffer, and returns a state ready for
 // Step.
 func (m *Model) NewDecodeState(encOut *tensor.Matrix, encLayout RowLayout) *DecodeState {
-	nSeg := len(encLayout.Segments)
-	d := m.Cfg.DModel
-	maxLen := m.P.PosEnc.Rows // Step rejects positions beyond this bound
-	s := &DecodeState{
-		m:         m,
-		encLayout: encLayout,
-		nSeg:      nSeg,
-		prefixLen: make([]int, nSeg),
-		finished:  make([]bool, nSeg),
-		x:         tensor.New(nSeg, d),
-		q:         tensor.New(nSeg, d),
-		attn:      tensor.New(nSeg, d),
-		proj:      tensor.New(nSeg, d),
-		ff:        tensor.New(nSeg, m.Cfg.DFF),
-		logits:    tensor.New(nSeg, m.Cfg.VocabSize),
-		live:      make([]int, 0, nSeg),
-		out:       make([][]float32, nSeg),
+	return &DecodeState{
+		b: m.newBatchDecodeState([]BatchDecodeRow{{EncOut: encOut, Layout: encLayout}}, m.P.PosEnc.Rows),
 	}
-	scoreLen := maxLen
-	for _, seg := range encLayout.Segments {
-		if seg.Len > scoreLen {
-			scoreLen = seg.Len
-		}
-	}
-	s.scores = make([]float32, scoreLen)
-	for range m.P.Decoder {
-		lc := &layerCache{
-			selfK:  make([]*tensor.Matrix, nSeg),
-			selfV:  make([]*tensor.Matrix, nSeg),
-			crossK: make([]*tensor.Matrix, nSeg),
-			crossV: make([]*tensor.Matrix, nSeg),
-			k:      tensor.New(nSeg, d),
-			v:      tensor.New(nSeg, d),
-		}
-		for i := 0; i < nSeg; i++ {
-			lc.selfK[i] = &tensor.Matrix{Cols: d, Data: make([]float32, 0, maxLen*d)}
-			lc.selfV[i] = &tensor.Matrix{Cols: d, Data: make([]float32, 0, maxLen*d)}
-		}
-		s.layers = append(s.layers, lc)
-	}
-	for li, layer := range m.P.Decoder {
-		k := layer.CrossAttn.WK.Apply(encOut)
-		v := layer.CrossAttn.WV.Apply(encOut)
-		for i, seg := range encLayout.Segments {
-			s.layers[li].crossK[i] = k.Slice(seg.Start, seg.End())
-			s.layers[li].crossV[i] = v.Slice(seg.Start, seg.End())
-		}
-	}
-	return s
 }
 
 // Finished reports whether segment i has stopped decoding.
-func (s *DecodeState) Finished(i int) bool { return s.finished[i] }
+func (s *DecodeState) Finished(i int) bool { return s.b.Finished(i) }
 
 // MarkFinished stops segment i (cap reached or EOS seen by the caller).
-func (s *DecodeState) MarkFinished(i int) { s.finished[i] = true }
+func (s *DecodeState) MarkFinished(i int) { s.b.MarkFinished(i) }
 
 // AllFinished reports whether every segment has stopped.
-func (s *DecodeState) AllFinished() bool {
-	for _, f := range s.finished {
-		if !f {
-			return false
-		}
-	}
-	return true
-}
+func (s *DecodeState) AllFinished() bool { return s.b.AllFinished() }
 
 // Step feeds one token per segment (tokens[i] is ignored for finished
 // segments) and returns the vocabulary logits for each live segment
@@ -141,115 +54,18 @@ func (s *DecodeState) AllFinished() bool {
 // buffer and are valid only until the next Step call; callers that need
 // them longer must copy.
 func (s *DecodeState) Step(tokens []int) ([][]float32, error) {
-	if len(tokens) != s.nSeg {
-		return nil, fmt.Errorf("model: Step got %d tokens for %d segments", len(tokens), s.nSeg)
-	}
-	// Gather the live segments, validating before any state mutation.
-	s.live = s.live[:0]
-	for i := 0; i < s.nSeg; i++ {
-		if s.finished[i] {
-			continue
-		}
-		if tokens[i] < 0 || tokens[i] >= s.m.Cfg.VocabSize {
-			return nil, fmt.Errorf("model: token %d out of vocabulary", tokens[i])
-		}
-		if s.prefixLen[i] >= s.m.P.PosEnc.Rows {
-			return nil, fmt.Errorf("model: segment %d position %d beyond MaxLen", i, s.prefixLen[i])
-		}
-		s.live = append(s.live, i)
-	}
-	live := s.live
-	for i := range s.out {
-		s.out[i] = nil
-	}
-	if len(live) == 0 {
-		return s.out, nil
-	}
-	// Embed the new token of every live segment at its own position —
-	// separate positional encoding, per segment, by construction.
-	d := s.m.Cfg.DModel
-	n := len(live)
-	x := s.x
-	x.Resize(n, d)
-	for r, i := range live {
-		row := x.Row(r)
-		copy(row, s.m.P.Embedding.Row(tokens[i]))
-		peRow := s.m.P.PosEnc.Row(s.prefixLen[i])
-		for j := range row {
-			row[j] += peRow[j]
-		}
-		s.prefixLen[i]++
-	}
-
-	heads := s.m.Cfg.NumHeads
-	dh := s.m.Cfg.HeadDim()
-	scale := attnScale(dh)
-	q, attn, proj := s.q, s.attn, s.proj
-	q.Resize(n, d)
-	attn.Resize(n, d)
-	proj.Resize(n, d)
-	for li, layer := range s.m.P.Decoder {
-		cache := s.layers[li]
-		// Self-attention with per-segment KV cache (causal by
-		// construction: the cache only holds the past).
-		k, v := cache.k, cache.v
-		k.Resize(n, d)
-		v.Resize(n, d)
-		layer.SelfAttn.WQ.ApplyInto(q, x)
-		layer.SelfAttn.WK.ApplyInto(k, x)
-		layer.SelfAttn.WV.ApplyInto(v, x)
-		for r, i := range live {
-			cache.selfK[i].AppendRow(k.Row(r))
-			cache.selfV[i].AppendRow(v.Row(r))
-			tensor.AttendCachedRow(attn.Row(r), q.Row(r), cache.selfK[i], cache.selfV[i], heads, dh, scale, s.scores)
-		}
-		layer.SelfAttn.WO.ApplyInto(proj, attn)
-		tensor.AddInPlace(x, proj)
-		layer.Norm1.Apply(x)
-
-		// Cross-attention against the fixed encoder cache of the own
-		// segment only.
-		layer.CrossAttn.WQ.ApplyInto(q, x)
-		for r, i := range live {
-			tensor.AttendCachedRow(attn.Row(r), q.Row(r), cache.crossK[i], cache.crossV[i], heads, dh, scale, s.scores)
-		}
-		layer.CrossAttn.WO.ApplyInto(proj, attn)
-		tensor.AddInPlace(x, proj)
-		layer.Norm2.Apply(x)
-
-		ff := s.ff
-		ff.Resize(n, s.m.Cfg.DFF)
-		layer.FFN.In.ApplyInto(ff, x)
-		tensor.ReLU(ff)
-		layer.FFN.Out.ApplyInto(proj, ff)
-		tensor.AddInPlace(x, proj)
-		layer.Norm3.Apply(x)
-	}
-
-	s.logits.Resize(n, s.m.Cfg.VocabSize)
-	s.m.P.OutProj.ApplyInto(s.logits, x)
-	for r, i := range live {
-		s.out[i] = s.logits.Row(r)
-	}
-	return s.out, nil
+	return s.b.Step(tokens)
 }
 
 // GenerateRowCached mirrors GenerateRowCapped using the KV-cached
 // incremental decoder: same greedy decoding, same outputs, O(T) token
-// passes per segment instead of O(T²).
+// passes per segment instead of O(T²). It is the per-row counterpart of
+// GenerateBatchCached (one decode state per row instead of one fused state
+// per batch), kept as the engine's -fusedecode=false escape hatch.
 func (m *Model) GenerateRowCached(encOut *tensor.Matrix, encLayout RowLayout, caps []int) ([]GenerateResult, error) {
 	nSeg := len(encLayout.Segments)
 	if len(caps) != nSeg {
 		return nil, fmt.Errorf("model: %d caps for %d segments", len(caps), nSeg)
-	}
-	st := m.NewDecodeState(encOut, encLayout)
-	results := make([]GenerateResult, nSeg)
-	next := make([]int, nSeg)
-	for i := range next {
-		next[i] = vocab.BosID
-		if caps[i] <= 0 {
-			st.MarkFinished(i)
-		}
 	}
 	maxNew := 0
 	for _, c := range caps {
@@ -257,32 +73,6 @@ func (m *Model) GenerateRowCached(encOut *tensor.Matrix, encLayout RowLayout, ca
 			maxNew = c
 		}
 	}
-	for step := 0; step < maxNew && !st.AllFinished(); step++ {
-		logits, err := st.Step(next)
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < nSeg; i++ {
-			if st.Finished(i) || logits[i] == nil {
-				continue
-			}
-			best, bestj := float32(math.Inf(-1)), 0
-			for j, v := range logits[i] {
-				if v > best {
-					best, bestj = v, j
-				}
-			}
-			results[i].Steps = step + 1
-			if bestj == vocab.EosID {
-				st.MarkFinished(i)
-				continue
-			}
-			results[i].Tokens = append(results[i].Tokens, bestj)
-			next[i] = bestj
-			if len(results[i].Tokens) >= caps[i] {
-				st.MarkFinished(i)
-			}
-		}
-	}
-	return results, nil
+	st := m.newBatchDecodeState([]BatchDecodeRow{{EncOut: encOut, Layout: encLayout}}, maxNew)
+	return greedyDecode(st, caps, maxNew)
 }

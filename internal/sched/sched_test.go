@@ -31,10 +31,10 @@ func TestRequestValidate(t *testing.T) {
 
 func TestExpire(t *testing.T) {
 	pool := []*Request{
-		req(1, 5, 0, 10),  // alive at t=5
-		req(2, 5, 0, 3),   // expired at t=5
-		req(3, 5, 8, 20),  // future at t=5
-		req(4, 5, 5, 5),   // boundary: alive exactly at deadline
+		req(1, 5, 0, 10), // alive at t=5
+		req(2, 5, 0, 3),  // expired at t=5
+		req(3, 5, 8, 20), // future at t=5
+		req(4, 5, 5, 5),  // boundary: alive exactly at deadline
 	}
 	alive, expired, future := Expire(pool, 5)
 	if len(alive) != 2 || len(expired) != 1 || len(future) != 1 {
@@ -139,10 +139,10 @@ func TestDASDeadlinePreference(t *testing.T) {
 	// with the closer deadline must win (line 12).
 	d := NewDAS()
 	pending := []*Request{
-		req(1, 2, 0, 100),  // NU (highest utility)
-		req(2, 5, 0, 50),   // candidate, late deadline
-		req(3, 5, 0, 5),    // candidate, urgent
-		req(4, 5, 0, 80),   // candidate, late
+		req(1, 2, 0, 100), // NU (highest utility)
+		req(2, 5, 0, 50),  // candidate, late deadline
+		req(3, 5, 0, 5),   // candidate, urgent
+		req(4, 5, 0, 80),  // candidate, late
 	}
 	dec := d.Schedule(0, pending, 1, 8)
 	chosen := dec.Chosen()

@@ -34,7 +34,10 @@ type Config struct {
 	B, L      int
 	// QueueCap bounds the submission queue; Submit fails fast beyond it.
 	QueueCap int
-	// Poll is how long the scheduler loop sleeps when the queue is empty.
+	// Poll bounds how long the scheduler loop waits between rounds when no
+	// wakeup arrives. Submissions wake the loop immediately through a
+	// channel, so Poll only paces the deadline-expiry sweep of requests
+	// already queued; it can be generous without hurting latency.
 	Poll time.Duration
 }
 
@@ -81,7 +84,12 @@ type Server struct {
 	next  int64
 	stop  chan struct{}
 	done  chan struct{}
-	base  time.Time
+	// wake is a capacity-1 edge trigger: Submit (and batch completion, for
+	// Drain) signal it so the loop reacts immediately instead of sleeping
+	// out the Poll interval. Poll remains only as a deadline-expiry
+	// fallback.
+	wake chan struct{}
+	base time.Time
 
 	submitted, served, missed, failed, batches int64
 	draining                                   bool
@@ -106,6 +114,7 @@ func New(cfg Config) (*Server, error) {
 		queue: make(map[int64]*pending),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
+		wake:  make(chan struct{}, 1),
 		base:  time.Now(),
 	}, nil
 }
@@ -136,7 +145,13 @@ func (s *Server) Drain() {
 		if empty {
 			break
 		}
-		time.Sleep(s.cfg.Poll)
+		// Wait for the loop to report progress (a finished batch or expiry
+		// sweep notifies wake); Poll bounds the wait in case a wakeup was
+		// already consumed.
+		select {
+		case <-s.wake:
+		case <-time.After(s.cfg.Poll):
+		}
 	}
 	s.Stop()
 }
@@ -180,7 +195,17 @@ func (s *Server) Submit(tokens []int, deadline time.Duration) (<-chan Response, 
 	}
 	s.queue[id] = p
 	s.submitted++
+	s.notify()
 	return p.out, nil
+}
+
+// notify nudges the scheduler loop (and Drain) without blocking: the
+// capacity-1 channel coalesces bursts into a single pending wakeup.
+func (s *Server) notify() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
 }
 
 // Stats returns a snapshot of server counters.
@@ -219,10 +244,14 @@ func (s *Server) loop() {
 		}
 		batchReady := s.scheduleOnce()
 		if !batchReady {
+			// Idle: block until a Submit signals work. Poll stays as a
+			// fallback so queued requests still get their deadline-expiry
+			// sweep even with no new arrivals.
 			select {
 			case <-s.stop:
 				s.failAll(ErrServerClosed)
 				return
+			case <-s.wake:
 			case <-time.After(s.cfg.Poll):
 			}
 		}
@@ -278,6 +307,7 @@ func (s *Server) scheduleOnce() bool {
 		for _, p := range selected {
 			p.out <- Response{ID: p.req.ID, Err: err, Queued: p.queued, Served: served}
 		}
+		s.notify()
 		return true
 	}
 	byID := make(map[int64]engine.Result, len(rep.Results))
@@ -299,6 +329,7 @@ func (s *Server) scheduleOnce() bool {
 	s.served += okCount
 	s.failed += lost
 	s.mu.Unlock()
+	s.notify()
 	return true
 }
 

@@ -297,3 +297,75 @@ func TestConcurrentSubmitStress(t *testing.T) {
 		t.Fatalf("served = %d, want %d", st.Served, clients*perClient)
 	}
 }
+
+// TestSubmitWakesIdleLoop pins the wakeup-channel behavior: with a Poll far
+// larger than inference time, a submission against an idle server must be
+// answered in a fraction of Poll — the loop is woken by the Submit, not by
+// the expiry of a fixed sleep.
+func TestSubmitWakesIdleLoop(t *testing.T) {
+	cfg := model.TestConfig(testVocab)
+	e := engine.New(model.New(cfg, 5), 2)
+	const poll = 2 * time.Second
+	s, err := New(Config{
+		Engine: e, Scheduler: sched.NewDAS(), Scheme: batch.Concat,
+		B: 4, L: 64, Poll: poll,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop()
+
+	// Let the loop reach its idle wait before submitting.
+	time.Sleep(20 * time.Millisecond)
+	src := rng.New(17)
+	start := time.Now()
+	ch, err := s.Submit(randTokens(src, 6), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := <-ch
+	elapsed := time.Since(start)
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if elapsed > poll/2 {
+		t.Fatalf("idle->busy latency %v: submission waited out Poll=%v instead of waking the loop", elapsed, poll)
+	}
+}
+
+// TestDrainWakes pins that Drain observes batch completion promptly rather
+// than sleeping out Poll between queue checks.
+func TestDrainWakes(t *testing.T) {
+	cfg := model.TestConfig(testVocab)
+	e := engine.New(model.New(cfg, 7), 2)
+	const poll = 2 * time.Second
+	s, err := New(Config{
+		Engine: e, Scheduler: sched.NewDAS(), Scheme: batch.Concat,
+		B: 4, L: 64, Poll: poll,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	src := rng.New(19)
+	var chans []<-chan Response
+	for i := 0; i < 3; i++ {
+		ch, err := s.Submit(randTokens(src, 5), 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	start := time.Now()
+	s.Drain()
+	elapsed := time.Since(start)
+	for i, ch := range chans {
+		if resp := <-ch; resp.Err != nil {
+			t.Fatalf("request %d failed during drain: %v", i, resp.Err)
+		}
+	}
+	if elapsed > poll {
+		t.Fatalf("drain took %v with Poll=%v: drain loop is sleeping instead of waking on progress", elapsed, poll)
+	}
+}

@@ -53,11 +53,43 @@ func matMulBlockedTiles(dst, a, b *Matrix, tLo, tHi int) {
 				if j1 > p {
 					j1 = p
 				}
-				// Micro-kernel on the (i, k) × (k, j) tile pair: four
-				// k-steps fused per accumulator pass, as in matMulSmallRange.
+				// Micro-kernel on the (i, k) × (k, j) tile pair: two dst
+				// rows per pass with four k-steps fused, exactly
+				// matMulSmallRange's register blocking. Tile boundaries are
+				// multiples of four, so each row's accumulation order (k
+				// quads, then a scalar tail) matches the small kernel's and
+				// results per row are bitwise kernel-independent.
 				sb := b.stride()
 				bd := b.Data
-				for i := i0; i < i1; i++ {
+				i := i0
+				for ; i+2 <= i1; i += 2 {
+					ar0, ar1 := a.Row(i), a.Row(i+1)
+					d0 := dst.Row(i)[j0:j1]
+					d1 := dst.Row(i + 1)[j0:j1]
+					kk := k0
+					for ; kk+4 <= k1; kk += 4 {
+						a00, a01, a02, a03 := ar0[kk], ar0[kk+1], ar0[kk+2], ar0[kk+3]
+						a10, a11, a12, a13 := ar1[kk], ar1[kk+1], ar1[kk+2], ar1[kk+3]
+						b0 := bd[kk*sb+j0 : kk*sb+j1]
+						b1 := bd[(kk+1)*sb+j0 : (kk+1)*sb+j1]
+						b2 := bd[(kk+2)*sb+j0 : (kk+2)*sb+j1]
+						b3 := bd[(kk+3)*sb+j0 : (kk+3)*sb+j1]
+						for j := range d0 {
+							v0, v1, v2, v3 := b0[j], b1[j], b2[j], b3[j]
+							d0[j] += a00*v0 + a01*v1 + a02*v2 + a03*v3
+							d1[j] += a10*v0 + a11*v1 + a12*v2 + a13*v3
+						}
+					}
+					for ; kk < k1; kk++ {
+						av0, av1 := ar0[kk], ar1[kk]
+						brow := bd[kk*sb+j0 : kk*sb+j1]
+						for j := range d0 {
+							d0[j] += av0 * brow[j]
+							d1[j] += av1 * brow[j]
+						}
+					}
+				}
+				for ; i < i1; i++ {
 					arow := a.Row(i)
 					drow := dst.Row(i)[j0:j1]
 					kk := k0

@@ -1,0 +1,102 @@
+package tensor
+
+import "fmt"
+
+// This file holds the gather/scatter and strided-batch helpers behind the
+// fused batch-wide decoder: one decode step gathers every live segment's
+// embedding into a single totalLive×d activation matrix, runs the layer
+// projections as batch-wide GEMMs, scatters freshly projected key/value rows
+// into the ragged per-segment KV caches, and attends each row against its own
+// cache. All helpers are allocation-free so the warm fused step never touches
+// the heap.
+
+// GatherRowsInto copies src.Row(idx[r]) into dst.Row(r) for every r.
+// dst must have len(idx) rows and src's width.
+func GatherRowsInto(dst, src *Matrix, idx []int) {
+	if dst.Rows != len(idx) || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: gather dst %dx%d, want %dx%d",
+			dst.Rows, dst.Cols, len(idx), src.Cols))
+	}
+	for r, i := range idx {
+		copy(dst.Row(r), src.Row(i))
+	}
+}
+
+// GatherAddRowsInto adds src.Row(idx[r]) into dst.Row(r) for every r — the
+// positional-encoding gather of the fused decode step, where each live
+// segment sits at its own decode position.
+func GatherAddRowsInto(dst, src *Matrix, idx []int) {
+	if dst.Rows != len(idx) || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: gather-add dst %dx%d, want %dx%d",
+			dst.Rows, dst.Cols, len(idx), src.Cols))
+	}
+	for r, i := range idx {
+		drow, srow := dst.Row(r), src.Row(i)
+		for j, v := range srow {
+			drow[j] += v
+		}
+	}
+}
+
+// ScatterAppendRows appends src.Row(r) to dsts[idx[r]] for every r — the
+// KV-cache scatter of the fused decode step: one batch-wide projection holds
+// the new key (or value) row of every live segment, and each row lands in
+// its own segment's ragged cache. With pre-reserved cache capacity no append
+// allocates.
+func ScatterAppendRows(dsts []*Matrix, src *Matrix, idx []int) {
+	if src.Rows != len(idx) {
+		panic(fmt.Sprintf("tensor: scatter-append %d rows for %d indices", src.Rows, len(idx)))
+	}
+	for r, i := range idx {
+		dsts[i].AppendRow(src.Row(r))
+	}
+}
+
+// AttendCachedRows is the strided-batch form of AttendCachedRow: query row r
+// of q attends over keys[idx[r]]/vals[idx[r]] into row r of dst. Each row's
+// cache has its own length (ragged across segments), which is why this stays
+// a per-row kernel instead of one rectangular GEMM — but rows are
+// independent, so they shard across the worker pool like any row-parallel
+// kernel. scores must hold at least q.Rows rows and the longest cache's
+// columns; each worker row uses its own scores row, so the parallel path
+// writes without overlap.
+func AttendCachedRows(dst, q *Matrix, keys, vals []*Matrix, idx []int, heads, dh int, scale float32, scores *Matrix) {
+	n := q.Rows
+	if dst.Rows != n || dst.Cols != q.Cols {
+		panic(fmt.Sprintf("tensor: batch cached attend dst %dx%d, want %dx%d",
+			dst.Rows, dst.Cols, n, q.Cols))
+	}
+	if len(idx) != n {
+		panic(fmt.Sprintf("tensor: batch cached attend %d indices for %d rows", len(idx), n))
+	}
+	if q.Cols != heads*dh {
+		panic(fmt.Sprintf("tensor: batch cached attend width %d != %d heads × %d", q.Cols, heads, dh))
+	}
+	if scores.Rows < n {
+		panic(fmt.Sprintf("tensor: batch cached attend scores %d rows < %d", scores.Rows, n))
+	}
+	for _, i := range idx {
+		if keys[i].Rows != vals[i].Rows || keys[i].Cols != q.Cols || vals[i].Cols != q.Cols {
+			panic(fmt.Sprintf("tensor: batch cached attend cache %d: keys %dx%d vals %dx%d",
+				i, keys[i].Rows, keys[i].Cols, vals[i].Rows, vals[i].Cols))
+		}
+		if scores.Cols < keys[i].Rows {
+			panic(fmt.Sprintf("tensor: batch cached attend scores %d cols < cache %d rows",
+				scores.Cols, keys[i].Rows))
+		}
+	}
+	if planWorkers(n, 4) == 1 {
+		attendCachedRowsRange(dst, q, keys, vals, idx, heads, dh, scale, scores, 0, n)
+		return
+	}
+	parallelRows(n, 4, func(lo, hi int) {
+		attendCachedRowsRange(dst, q, keys, vals, idx, heads, dh, scale, scores, lo, hi)
+	})
+}
+
+func attendCachedRowsRange(dst, q *Matrix, keys, vals []*Matrix, idx []int, heads, dh int, scale float32, scores *Matrix, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		i := idx[r]
+		attendCachedRow(dst.Row(r), q.Row(r), keys[i], vals[i], heads, dh, scale, scores.Row(r))
+	}
+}

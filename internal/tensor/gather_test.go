@@ -1,0 +1,96 @@
+package tensor
+
+import "testing"
+
+func TestGatherRowsInto(t *testing.T) {
+	table := randMatrix(6, 4, 1)
+	idx := []int{3, 0, 3, 5}
+	dst := New(len(idx), 4)
+	GatherRowsInto(dst, table, idx)
+	for r, i := range idx {
+		for j := 0; j < 4; j++ {
+			if dst.At(r, j) != table.At(i, j) {
+				t.Fatalf("dst[%d][%d] = %g, want table[%d][%d] = %g",
+					r, j, dst.At(r, j), i, j, table.At(i, j))
+			}
+		}
+	}
+	mustPanic(t, "shape mismatch", func() { GatherRowsInto(New(2, 4), table, idx) })
+}
+
+func TestGatherAddRowsInto(t *testing.T) {
+	table := randMatrix(5, 3, 2)
+	idx := []int{4, 4, 1}
+	dst := randMatrix(3, 3, 3)
+	want := New(3, 3)
+	for r, i := range idx {
+		for j := 0; j < 3; j++ {
+			want.Set(r, j, dst.At(r, j)+table.At(i, j))
+		}
+	}
+	GatherAddRowsInto(dst, table, idx)
+	if !dst.AllClose(want, 0) {
+		t.Fatal("gather-add mismatch")
+	}
+	mustPanic(t, "shape mismatch", func() { GatherAddRowsInto(New(3, 2), table, idx) })
+}
+
+func TestScatterAppendRows(t *testing.T) {
+	stepRows := randMatrix(3, 2, 4)
+	caches := []*Matrix{
+		{Cols: 2, Data: make([]float32, 0, 8)},
+		{Cols: 2, Data: make([]float32, 0, 8)},
+		{Cols: 2, Data: make([]float32, 0, 8)},
+	}
+	// Rows 0 and 2 of the step land in caches 2 and 0; cache 1 stays empty.
+	ScatterAppendRows([]*Matrix{caches[2], caches[0]}, stepRows.Slice(0, 2), []int{0, 1})
+	if caches[2].Rows != 1 || caches[0].Rows != 1 || caches[1].Rows != 0 {
+		t.Fatalf("cache rows = %d/%d/%d", caches[0].Rows, caches[1].Rows, caches[2].Rows)
+	}
+	for j := 0; j < 2; j++ {
+		if caches[2].At(0, j) != stepRows.At(0, j) || caches[0].At(0, j) != stepRows.At(1, j) {
+			t.Fatal("scattered rows landed wrong")
+		}
+	}
+	mustPanic(t, "count mismatch", func() { ScatterAppendRows(caches, stepRows, []int{0}) })
+}
+
+// AttendCachedRows must match per-row AttendCachedRow exactly (it delegates
+// to the same kernel), including when each row's cache has a different
+// length.
+func TestAttendCachedRowsMatchesPerRow(t *testing.T) {
+	const heads, dh = 2, 4
+	d := heads * dh
+	q := randMatrix(3, d, 5)
+	keys := []*Matrix{randMatrix(5, d, 6), randMatrix(2, d, 7), randMatrix(7, d, 8)}
+	vals := []*Matrix{randMatrix(5, d, 9), randMatrix(2, d, 10), randMatrix(7, d, 11)}
+	idx := []int{2, 0, 1} // ragged: row 0 attends the 7-row cache, …
+	scale := float32(0.5)
+	got := New(3, d)
+	scores := New(3, 7)
+	AttendCachedRows(got, q, keys, vals, idx, heads, dh, scale, scores)
+	want := New(3, d)
+	scratch := make([]float32, 7)
+	for r, i := range idx {
+		AttendCachedRow(want.Row(r), q.Row(r), keys[i], vals[i], heads, dh, scale, scratch)
+	}
+	if !got.AllClose(want, 0) {
+		t.Fatal("batched cached attention diverges from per-row kernel")
+	}
+	mustPanic(t, "scores too narrow", func() {
+		AttendCachedRows(got, q, keys, vals, idx, heads, dh, scale, New(3, 3))
+	})
+	mustPanic(t, "index count mismatch", func() {
+		AttendCachedRows(got, q, keys, vals, []int{0}, heads, dh, scale, scores)
+	})
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s must panic", what)
+		}
+	}()
+	f()
+}

@@ -101,7 +101,62 @@ func matMulSmall(dst, a, b *Matrix) {
 	})
 }
 
+// matMulSmallRange processes two dst rows per pass (register blocking: the
+// four b rows of each k-quad are loaded once and feed eight multiply-adds
+// instead of four) with a single-row fallback for the odd remainder.
+//
+// Per-row accumulation order is always quads of k followed by a scalar tail —
+// the same order for the paired path, the single-row path and the blocked
+// kernel's micro-tile (whose k boundaries are multiples of four). A given dst
+// row therefore gets bitwise-identical results no matter which kernel, worker
+// chunk or row pairing computed it; the fused batch decoder relies on this to
+// stay token-identical with per-row decoding across different GEMM heights.
 func matMulSmallRange(dst, a, b *Matrix, lo, hi int) {
+	k, p := a.Cols, b.Cols
+	sb := b.stride()
+	bd := b.Data
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		ar0, ar1 := a.Row(i), a.Row(i+1)
+		d0 := dst.Row(i)[:p]
+		d1 := dst.Row(i + 1)[:p]
+		for j := range d0 {
+			d0[j] = 0
+		}
+		for j := range d1 {
+			d1[j] = 0
+		}
+		kk := 0
+		for ; kk+4 <= k; kk += 4 {
+			a00, a01, a02, a03 := ar0[kk], ar0[kk+1], ar0[kk+2], ar0[kk+3]
+			a10, a11, a12, a13 := ar1[kk], ar1[kk+1], ar1[kk+2], ar1[kk+3]
+			b0 := bd[kk*sb : kk*sb+p]
+			b1 := bd[(kk+1)*sb : (kk+1)*sb+p]
+			b2 := bd[(kk+2)*sb : (kk+2)*sb+p]
+			b3 := bd[(kk+3)*sb : (kk+3)*sb+p]
+			for j := range d0 {
+				v0, v1, v2, v3 := b0[j], b1[j], b2[j], b3[j]
+				d0[j] += a00*v0 + a01*v1 + a02*v2 + a03*v3
+				d1[j] += a10*v0 + a11*v1 + a12*v2 + a13*v3
+			}
+		}
+		for ; kk < k; kk++ {
+			av0, av1 := ar0[kk], ar1[kk]
+			brow := bd[kk*sb : kk*sb+p]
+			for j := range d0 {
+				d0[j] += av0 * brow[j]
+				d1[j] += av1 * brow[j]
+			}
+		}
+	}
+	if i < hi {
+		matMulRowRange(dst, a, b, i, hi)
+	}
+}
+
+// matMulRowRange is the one-row-at-a-time form of the small kernel, with the
+// same per-row k-quad accumulation order as the paired path.
+func matMulRowRange(dst, a, b *Matrix, lo, hi int) {
 	k, p := a.Cols, b.Cols
 	sb := b.stride()
 	bd := b.Data
@@ -111,23 +166,15 @@ func matMulSmallRange(dst, a, b *Matrix, lo, hi int) {
 		for j := range drow {
 			drow[j] = 0
 		}
-		// ikj loop order, eight k-steps fused per pass: each load/store of
-		// the accumulator row carries eight multiply-adds instead of one.
 		kk := 0
-		for ; kk+8 <= k; kk += 8 {
+		for ; kk+4 <= k; kk += 4 {
 			a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
-			a4, a5, a6, a7 := arow[kk+4], arow[kk+5], arow[kk+6], arow[kk+7]
 			b0 := bd[kk*sb : kk*sb+p]
 			b1 := bd[(kk+1)*sb : (kk+1)*sb+p]
 			b2 := bd[(kk+2)*sb : (kk+2)*sb+p]
 			b3 := bd[(kk+3)*sb : (kk+3)*sb+p]
-			b4 := bd[(kk+4)*sb : (kk+4)*sb+p]
-			b5 := bd[(kk+5)*sb : (kk+5)*sb+p]
-			b6 := bd[(kk+6)*sb : (kk+6)*sb+p]
-			b7 := bd[(kk+7)*sb : (kk+7)*sb+p]
 			for j := range drow {
-				drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j] +
-					a4*b4[j] + a5*b5[j] + a6*b6[j] + a7*b7[j]
+				drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
 			}
 		}
 		for ; kk < k; kk++ {

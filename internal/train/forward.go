@@ -24,10 +24,10 @@ type lnCache struct {
 }
 
 type attnCache struct {
-	xq, xkv *tensor.Matrix // attention inputs
-	q, k, v *tensor.Matrix // projected, full width
-	probs   []*tensor.Matrix
-	concat  *tensor.Matrix // pre-WO head concat
+	xq, xkv        *tensor.Matrix // attention inputs
+	q, k, v        *tensor.Matrix // projected, full width
+	probs          []*tensor.Matrix
+	concat         *tensor.Matrix // pre-WO head concat
 	qc, kc, vc, oc linCache
 }
 
@@ -36,23 +36,23 @@ type reluCache struct {
 }
 
 type encLayerCache struct {
-	attn        attnCache
-	norm1       lnCache
-	ffnIn       linCache
-	relu        reluCache
-	ffnOut      linCache
-	norm2       lnCache
+	attn   attnCache
+	norm1  lnCache
+	ffnIn  linCache
+	relu   reluCache
+	ffnOut linCache
+	norm2  lnCache
 }
 
 type decLayerCache struct {
-	self        attnCache
-	norm1       lnCache
-	cross       attnCache
-	norm2       lnCache
-	ffnIn       linCache
-	relu        reluCache
-	ffnOut      linCache
-	norm3       lnCache
+	self   attnCache
+	norm1  lnCache
+	cross  attnCache
+	norm2  lnCache
+	ffnIn  linCache
+	relu   reluCache
+	ffnOut linCache
+	norm3  lnCache
 }
 
 // linForward computes y = xW + b, caching x.

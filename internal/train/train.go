@@ -72,7 +72,7 @@ func crossEntropy(logits *tensor.Matrix, target []int) (float64, *tensor.Matrix)
 		dRow := dL.Row(i)
 		inv := 1 / float32(t)
 		for j, v := range row {
-			p := float32(math.Exp(float64(v)-logZ))
+			p := float32(math.Exp(float64(v) - logZ))
 			dRow[j] = p * inv
 		}
 		dRow[target[i]] -= inv

@@ -59,6 +59,13 @@ func TestGradCheck(t *testing.T) {
 			numeric := (lp - lm) / (2 * h)
 			analytic := float64(gr[i])
 			diff := math.Abs(numeric - analytic)
+			// Central differences of a float32 loss carry ~|L|·eps/(2h) ≈
+			// 3e-5 of absolute rounding noise; for near-zero gradients the
+			// relative test would compare noise, not gradients.
+			if diff < 1e-4 {
+				checked++
+				continue
+			}
 			rel := diff / (math.Abs(numeric) + math.Abs(analytic) + 1e-4)
 			if rel > worst {
 				worst = rel
