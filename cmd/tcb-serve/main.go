@@ -7,13 +7,19 @@
 //
 //	tcb-serve [-n 64] [-rate 30] [-scheduler das|slotted|fcfs|sjf|def]
 //	          [-scheme concat|slotted|naive] [-deadline 2s] [-dmodel 64]
-//	tcb-serve -http :8080 ...     # expose the server over HTTP instead
+//	tcb-serve -chaos err=0.2,panic=0.05 ...   # deterministic fault injection
+//	tcb-serve -http :8080 ...                 # expose the server over HTTP
 //
 // In HTTP mode the server listens until interrupted:
 //
 //	POST /v1/infer {"tokens": [5,6,7], "deadline_ms": 500}
 //	GET  /v1/stats
 //	GET  /healthz
+//
+// The -chaos spec wraps the engine in a seeded serve.ChaosRunner
+// (err/panic/slow/lose modes); the supervision stack must keep the process
+// alive and keep serving through every injected fault, which is exactly
+// what the CI chaos smoke run asserts.
 package main
 
 import (
@@ -43,6 +49,12 @@ func main() {
 	dmodel := flag.Int("dmodel", 64, "model width")
 	maxNew := flag.Int("maxnew", 4, "generated tokens per request")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	chaosSpec := flag.String("chaos", "", "fault injection spec, e.g. err=0.2,panic=0.05,slow=0.1:50ms,lose=0.02,seed=7")
+	retries := flag.Int("retries", 3, "engine attempts per request (1 disables retry)")
+	breakerK := flag.Int("breaker", 5, "consecutive failures tripping the circuit breaker (<0 disables)")
+	cooldown := flag.Duration("breaker-cooldown", 250*time.Millisecond, "open-state cooldown before a half-open probe")
+	batchTimeout := flag.Duration("batch-timeout", 0, "fixed per-batch watchdog budget (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the final drain (0 waits forever)")
 	flag.Parse()
 
 	var scheduler sched.Scheduler
@@ -72,27 +84,59 @@ func main() {
 		fail(fmt.Errorf("unknown scheme %q", *schemeName))
 	}
 
+	chaosCfg, err := serve.ParseChaos(*chaosSpec)
+	if err != nil {
+		fail(err)
+	}
+
 	cfg := model.Config{
 		VocabSize: 256, DModel: *dmodel, NumHeads: 4, DFF: 2 * *dmodel,
 		EncLayers: 2, DecLayers: 2, MaxLen: 512, Eps: 1e-5,
 	}
 	eng := engine.New(model.New(cfg, 42), *maxNew)
-	srv, err := serve.New(serve.Config{
-		Engine: eng, Scheduler: scheduler, Scheme: scheme,
+	var runner serve.Runner = eng
+	var chaos *serve.ChaosRunner
+	if chaosCfg.Enabled() {
+		chaos = serve.NewChaosRunner(eng, chaosCfg)
+		runner = chaos
+	}
+	srvCfg := serve.Config{
+		Engine: runner, Scheduler: scheduler, Scheme: scheme,
 		B: 8, L: 100,
-	})
+		Retry:            serve.RetryPolicy{MaxAttempts: *retries},
+		BreakerThreshold: *breakerK,
+		BreakerCooldown:  *cooldown,
+		DrainTimeout:     *drainTimeout,
+	}
+	if *batchTimeout > 0 {
+		// A fixed budget: the Config-level PredictBatch hook exists for
+		// calibrated cost-model predictions; a CLI run has no calibration
+		// pass, so a flat watchdog is the honest option.
+		fixed := *batchTimeout
+		srvCfg.PredictBatch = func(*batch.Batch) time.Duration { return fixed }
+		srvCfg.TimeoutSlack = 1
+		srvCfg.MinBatchTimeout = fixed
+	}
+	srv, err := serve.New(srvCfg)
 	if err != nil {
 		fail(err)
 	}
 	srv.Start()
-	defer srv.Stop()
 
 	if *httpAddr != "" {
 		fmt.Printf("serving HTTP on %s (scheduler=%s scheme=%s)\n",
 			*httpAddr, scheduler.Name(), scheme)
-		if err := http.ListenAndServe(*httpAddr, serve.NewHTTPHandler(srv)); err != nil {
+		hs := &http.Server{
+			Addr:              *httpAddr,
+			Handler:           serve.NewHTTPHandler(srv),
+			ReadHeaderTimeout: 5 * time.Second,  // slowloris bound
+			ReadTimeout:       30 * time.Second, // full-request bound
+		}
+		if err := hs.ListenAndServe(); err != nil {
+			srv.Stop()
 			fail(err)
 		}
+		srv.Stop()
 		return
 	}
 
@@ -134,6 +178,8 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
+	srv.Drain()
+	st := srv.Stats()
 
 	fmt.Printf("scheduler=%s scheme=%s dmodel=%d\n", scheduler.Name(), scheme, *dmodel)
 	fmt.Printf("sent=%d rejected=%d served=%d deadline-missed=%d failed=%d\n",
@@ -142,6 +188,20 @@ func main() {
 	if lat.N() > 0 {
 		fmt.Printf("latency ms: p50=%.1f p95=%.1f p99=%.1f\n",
 			lat.Percentile(50), lat.Percentile(95), lat.Percentile(99))
+	}
+	fmt.Printf("supervision: retried=%d panics=%d timeouts=%d shed=%d breaker=%s trips=%d\n",
+		st.Retried, st.Panics, st.Timeouts, st.Shed, st.BreakerState, st.BreakerTrips)
+	if chaos != nil {
+		c := chaos.Counts()
+		fmt.Printf("chaos injected: errs=%d panics=%d slows=%d lost=%d\n",
+			c.Errs, c.Panics, c.Slows, c.Lost)
+		// Under injected faults some requests legitimately fail; the pass
+		// condition is that the process survived and still served traffic.
+		if sent > 0 && ok == 0 {
+			fmt.Fprintln(os.Stderr, "chaos run served nothing")
+			os.Exit(1)
+		}
+		return
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -23,6 +23,7 @@ package cost
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"tcb/internal/batch"
 	"tcb/internal/model"
@@ -188,6 +189,15 @@ func (p Params) BatchTime(b *batch.Batch) float64 {
 	encode := p.PerBatchSeconds + tokens*p.PerTokenSeconds + area*p.PerScoreSeconds
 	decode := p.DecodeRounds * (p.PerRoundSeconds + float64(b.NumItems())*p.PerSegmentRoundSeconds)
 	return encode + decode
+}
+
+// PredictBatchDuration returns BatchTime as a time.Duration: the latency
+// prediction hook the serving supervision watchdog multiplies by its slack
+// factor to derive a per-batch wall-clock budget. Calibrate the params
+// against the real engine first (engine.MeasureCost) — the V100-scale
+// defaults predict far below what the Go CPU engine takes.
+func (p Params) PredictBatchDuration(b *batch.Batch) time.Duration {
+	return time.Duration(p.BatchTime(b) * float64(time.Second))
 }
 
 // PlanTime returns the simulated seconds to run a sequence of sub-batches

@@ -3,6 +3,7 @@ package cost
 import (
 	"math"
 	"testing"
+	"time"
 
 	"tcb/internal/batch"
 	"tcb/internal/model"
@@ -295,5 +296,14 @@ func TestCalibrateFullErrors(t *testing.T) {
 	}
 	if _, err := CalibrateFull(ms); err == nil {
 		t.Fatal("collinear design should fail")
+	}
+}
+
+func TestPredictBatchDurationMatchesBatchTime(t *testing.T) {
+	p := DefaultParams(testCfg())
+	b := concatBatch(50, 2, 20, 20)
+	want := time.Duration(p.BatchTime(b) * float64(time.Second))
+	if got := p.PredictBatchDuration(b); got != want || got <= 0 {
+		t.Fatalf("PredictBatchDuration = %v, want %v (> 0)", got, want)
 	}
 }

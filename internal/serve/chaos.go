@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tcb/internal/batch"
+	"tcb/internal/engine"
+	"tcb/internal/rng"
+)
+
+// ChaosRunner is a deterministic, seeded fault injector between the server
+// and a real Runner: every failure path the supervision stack handles
+// (errors, panics, latency spikes, lost results) can be exercised
+// reproducibly — same seed, same call sequence, same faults. Wire it into
+// tcb-serve with -chaos, or around a test engine directly.
+//
+// Mode draws happen in call order from one seeded stream, so a
+// single-goroutine caller (the serve loop) sees an identical fault schedule
+// run to run.
+type ChaosRunner struct {
+	Inner Runner
+	cfg   ChaosConfig
+
+	mu   sync.Mutex
+	src  *rng.Source
+	injected ChaosCounts
+}
+
+// ChaosConfig selects fault rates for a ChaosRunner. Rates are independent
+// probabilities per Run call, checked in the order: slow, panic, err, lose.
+type ChaosConfig struct {
+	ErrRate   float64 // return an injected error instead of running
+	PanicRate float64 // panic instead of running
+	SlowRate  float64 // sleep SlowDelay before running
+	LoseRate  float64 // run, then drop one request's result from the report
+	SlowDelay time.Duration
+	Seed      uint64
+}
+
+// Enabled reports whether any fault mode has a positive rate.
+func (c ChaosConfig) Enabled() bool {
+	return c.ErrRate > 0 || c.PanicRate > 0 || c.SlowRate > 0 || c.LoseRate > 0
+}
+
+// ChaosCounts tallies injected faults.
+type ChaosCounts struct {
+	Errs, Panics, Slows, Lost int64
+}
+
+// ErrChaos is the root of every injected engine error.
+var ErrChaos = errors.New("chaos: injected engine error")
+
+// NewChaosRunner wraps inner with deterministic fault injection.
+func NewChaosRunner(inner Runner, cfg ChaosConfig) *ChaosRunner {
+	if cfg.SlowDelay <= 0 {
+		cfg.SlowDelay = 10 * time.Millisecond
+	}
+	return &ChaosRunner{Inner: inner, cfg: cfg, src: rng.New(cfg.Seed)}
+}
+
+// Counts returns the faults injected so far.
+func (c *ChaosRunner) Counts() ChaosCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injected
+}
+
+// Run implements Runner with fault injection. Injected panics are expected
+// to be recovered by the SupervisedRunner above this one.
+func (c *ChaosRunner) Run(b *batch.Batch, tokens map[int64][]int) (*engine.Report, error) {
+	// Draw the whole fault schedule for this call under the lock, then act
+	// outside it: a slow run must not serialize later calls behind it.
+	c.mu.Lock()
+	slow := c.src.Float64() < c.cfg.SlowRate
+	pan := c.src.Float64() < c.cfg.PanicRate
+	fail := c.src.Float64() < c.cfg.ErrRate
+	lose := c.src.Float64() < c.cfg.LoseRate
+	if slow {
+		c.injected.Slows++
+	}
+	if pan {
+		c.injected.Panics++
+	} else if fail {
+		c.injected.Errs++
+	}
+	c.mu.Unlock()
+
+	if slow {
+		time.Sleep(c.cfg.SlowDelay)
+	}
+	if pan {
+		panic(fmt.Sprintf("chaos: injected panic (batch of %d items)", b.NumItems()))
+	}
+	if fail {
+		return nil, fmt.Errorf("%w (batch of %d items)", ErrChaos, b.NumItems())
+	}
+	rep, err := c.Inner.Run(b, tokens)
+	if err == nil && lose && rep != nil && len(rep.Results) > 0 {
+		c.mu.Lock()
+		drop := c.src.Intn(len(rep.Results))
+		c.injected.Lost++
+		c.mu.Unlock()
+		trimmed := make([]engine.Result, 0, len(rep.Results)-1)
+		trimmed = append(trimmed, rep.Results[:drop]...)
+		trimmed = append(trimmed, rep.Results[drop+1:]...)
+		clone := *rep
+		clone.Results = trimmed
+		rep = &clone
+	}
+	return rep, err
+}
+
+// ParseChaos parses a -chaos flag spec of comma-separated key=value pairs:
+//
+//	err=0.2,panic=0.05,slow=0.1:50ms,lose=0.02,seed=7
+//
+// Rates are probabilities in [0,1]; slow takes an optional :delay suffix.
+// The empty spec parses to a disabled config.
+func ParseChaos(spec string) (ChaosConfig, error) {
+	var cfg ChaosConfig
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return cfg, fmt.Errorf("chaos: malformed term %q (want key=value)", part)
+		}
+		switch key {
+		case "err", "panic", "lose":
+			rate, err := parseRate(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			switch key {
+			case "err":
+				cfg.ErrRate = rate
+			case "panic":
+				cfg.PanicRate = rate
+			case "lose":
+				cfg.LoseRate = rate
+			}
+		case "slow":
+			rateStr, delayStr, hasDelay := strings.Cut(val, ":")
+			rate, err := parseRate(key, rateStr)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.SlowRate = rate
+			if hasDelay {
+				d, err := time.ParseDuration(delayStr)
+				if err != nil || d <= 0 {
+					return cfg, fmt.Errorf("chaos: bad slow delay %q", delayStr)
+				}
+				cfg.SlowDelay = d
+			}
+		case "seed":
+			seed, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("chaos: bad seed %q", val)
+			}
+			cfg.Seed = seed
+		default:
+			return cfg, fmt.Errorf("chaos: unknown mode %q", key)
+		}
+	}
+	return cfg, nil
+}
+
+func parseRate(key, val string) (float64, error) {
+	rate, err := strconv.ParseFloat(val, 64)
+	if err != nil || rate < 0 || rate > 1 {
+		return 0, fmt.Errorf("chaos: %s rate %q not in [0,1]", key, val)
+	}
+	return rate, nil
+}

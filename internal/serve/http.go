@@ -29,6 +29,10 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// MaxInferBody caps the /v1/infer request body; larger bodies fail with
+// 413 before JSON decoding buffers them.
+const MaxInferBody = 1 << 20
+
 // NewHTTPHandler exposes a server over HTTP:
 //
 //	POST /v1/infer  — submit one request, blocks until the response
@@ -44,8 +48,14 @@ func NewHTTPHandler(srv *Server) http.Handler {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 			return
 		}
+		r.Body = http.MaxBytesReader(w, r.Body, MaxInferBody)
 		var req InferRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
 			return
 		}
@@ -57,7 +67,8 @@ func NewHTTPHandler(srv *Server) http.Handler {
 			status := http.StatusBadRequest
 			if errors.Is(err, ErrQueueFull) {
 				status = http.StatusTooManyRequests
-			} else if errors.Is(err, ErrServerClosed) {
+			} else if errors.Is(err, ErrBreakerOpen) || errors.Is(err, ErrServerClosed) {
+				// Breaker open: degraded service, tell clients to back off.
 				status = http.StatusServiceUnavailable
 			}
 			writeErr(w, status, err)
@@ -68,6 +79,10 @@ func NewHTTPHandler(srv *Server) http.Handler {
 			switch {
 			case errors.Is(resp.Err, ErrDeadlineExceeded):
 				writeErr(w, http.StatusGatewayTimeout, resp.Err)
+			case errors.Is(resp.Err, ErrBreakerOpen):
+				// Covers ErrShed too (it wraps ErrBreakerOpen): the request
+				// was dropped under degraded service, not by a bug.
+				writeErr(w, http.StatusServiceUnavailable, resp.Err)
 			case resp.Err != nil:
 				writeErr(w, http.StatusInternalServerError, resp.Err)
 			default:

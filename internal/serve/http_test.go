@@ -135,16 +135,16 @@ func (f *flakyRunner) Run(b *batch.Batch, tokens map[int64][]int) (*engine.Repor
 }
 
 func TestEngineFailureInjection(t *testing.T) {
-	base, _ := testServer(t, batch.Concat, sched.NewDAS())
-	_ = base // build a fresh server around a flaky runner instead
-	cfgSrv, realEngine := testServer(t, batch.Concat, sched.NewDAS())
-	_ = cfgSrv
+	_, realEngine := testServer(t, batch.Concat, sched.NewDAS())
+	// Retry is disabled so the failure surfaces directly — the
+	// pre-supervision semantics. supervise_test.go covers retry-on.
 	srv, err := New(Config{
 		Engine:    &flakyRunner{real: realEngine, fails: 1},
 		Scheduler: sched.NewDAS(),
 		Scheme:    batch.Concat,
 		B:         2, L: 64,
-		Poll: 200 * time.Microsecond,
+		Poll:  200 * time.Microsecond,
+		Retry: RetryPolicy{MaxAttempts: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -174,6 +174,81 @@ func TestEngineFailureInjection(t *testing.T) {
 	st := srv.Stats()
 	if st.Failed != 1 || st.Served != 1 {
 		t.Fatalf("stats after failure = %+v", st)
+	}
+}
+
+// TestHTTPBodyCap pins the MaxBytesReader guard: an oversized body fails
+// with 413 before it is buffered.
+func TestHTTPBodyCap(t *testing.T) {
+	_, ts := httpServer(t)
+	huge := bytes.Repeat([]byte("9"), MaxInferBody+1024)
+	body := append([]byte(`{"tokens":[`), huge...)
+	body = append(body, []byte(`]}`)...)
+	resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestHTTPBreakerOpen503 pins degraded-mode signalling: while the breaker
+// is open and the reduced queue bound is reached, /v1/infer answers 503
+// with a JSON error body, and /v1/stats reports the open state.
+func TestHTTPBreakerOpen503(t *testing.T) {
+	srv, err := New(Config{
+		Engine:    &scriptRunner{failN: 1 << 30},
+		Scheduler: sched.NewDAS(),
+		Scheme:    batch.Concat,
+		B:         2, L: 64,
+		Poll:             200 * time.Microsecond,
+		Retry:            RetryPolicy{MaxAttempts: 100, Backoff: time.Millisecond},
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour,
+		OpenQueueCap:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(NewHTTPHandler(srv))
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Stop()
+	})
+	if _, err := srv.Submit(randTokens(rng.New(55), 4), 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	// Wait for the trip AND the failed batch's requeue, so the queue is
+	// back at the reduced bound before probing the endpoint.
+	for srv.BreakerState() != BreakerOpen || srv.QueueLen() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never opened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, body := postInfer(t, ts.URL, InferRequest{Tokens: randTokens(rng.New(56), 4), DeadlineMS: 100})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("infer while open: status %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("503 must carry a JSON error body, got %q (%v)", body, err)
+	}
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BreakerState != "open" || st.BreakerTrips != 1 {
+		t.Fatalf("stats while open = %+v", st)
 	}
 }
 

@@ -4,6 +4,13 @@
 // under the configured batching scheme, and runs it on the real Go
 // transformer engine, delivering each response on its own channel.
 //
+// The engine runs under a supervision stack (supervise.go): panics become
+// errors, a hung batch is killed by a cost-model-derived watchdog, failed
+// batches requeue their unexpired requests with capped exponential backoff,
+// and a circuit breaker degrades the server gracefully while the engine is
+// persistently down. chaos.go provides the deterministic fault injector
+// that exercises all of it.
+//
 // This is the component a downstream user embeds; the discrete-event
 // simulator (package sim) exists only because paper-scale arrival rates
 // outrun a CPU transformer.
@@ -12,6 +19,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -26,19 +34,73 @@ type Runner interface {
 	Run(b *batch.Batch, tokens map[int64][]int) (*engine.Report, error)
 }
 
+// RetryPolicy bounds how failed batches are retried. A request consumes one
+// attempt per failed batch it was part of; when its attempts are exhausted
+// (or its deadline passes first) it fails with the last engine error.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of engine runs a request may be part
+	// of. 1 disables retries (a failed batch fails all its requests — the
+	// pre-supervision behaviour); 0 means the default of 3.
+	MaxAttempts int
+	// Backoff is the base delay before a requeued request becomes
+	// schedulable again; attempt k waits Backoff·2^(k-1), capped at
+	// MaxBackoff. Zero means the Poll interval.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff. Zero means 64×Backoff.
+	MaxBackoff time.Duration
+}
+
 // Config describes a server.
 type Config struct {
 	Engine    Runner
 	Scheduler sched.Scheduler
 	Scheme    batch.Scheme
 	B, L      int
+	// SlotSize fixes the slot length for batch.SlottedConcat when the
+	// scheduler's decision does not carry one (SlottedDAS does; the fixed
+	// baselines do not). Submissions longer than the effective slot size
+	// are rejected up front — they could never be laid out. Zero means
+	// whole-row slots (L).
+	SlotSize int
 	// QueueCap bounds the submission queue; Submit fails fast beyond it.
 	QueueCap int
+	// OpenQueueCap is the reduced queue bound enforced while the circuit
+	// breaker is open: submissions beyond it are refused with
+	// ErrBreakerOpen and already-queued lowest-utility requests beyond it
+	// are shed, instead of accepting work a down engine will drop anyway.
+	// Zero means QueueCap/8 (at least 1).
+	OpenQueueCap int
 	// Poll bounds how long the scheduler loop waits between rounds when no
 	// wakeup arrives. Submissions wake the loop immediately through a
 	// channel, so Poll only paces the deadline-expiry sweep of requests
 	// already queued; it can be generous without hurting latency.
 	Poll time.Duration
+
+	// Retry governs requeue-on-failure; see RetryPolicy.
+	Retry RetryPolicy
+	// BreakerThreshold is the consecutive-failure count K that trips the
+	// circuit breaker. 0 means the default of 5; negative disables the
+	// breaker entirely.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before admitting a
+	// half-open probe. Zero means 250ms.
+	BreakerCooldown time.Duration
+	// PredictBatch, when non-nil, predicts a batch's execution latency
+	// (e.g. cost.Params.PredictBatchDuration); the supervision watchdog
+	// kills batches exceeding the prediction times TimeoutSlack. Nil
+	// disables the watchdog.
+	PredictBatch func(b *batch.Batch) time.Duration
+	// TimeoutSlack multiplies the predicted latency into the watchdog
+	// budget. Zero means 8.
+	TimeoutSlack float64
+	// MinBatchTimeout floors the watchdog budget, protecting against an
+	// optimistic cost model. Zero means 10×Poll.
+	MinBatchTimeout time.Duration
+	// DrainTimeout bounds Drain: past it, remaining queued requests fail
+	// with ErrServerClosed and Drain returns without waiting for an
+	// in-flight batch that may never come back. Zero preserves the
+	// unbounded behaviour.
+	DrainTimeout time.Duration
 }
 
 // Stats is a point-in-time snapshot of server counters.
@@ -46,9 +108,16 @@ type Stats struct {
 	Submitted int64 // accepted submissions
 	Served    int64 // responses delivered successfully
 	Missed    int64 // deadline expiries in the queue
-	Failed    int64 // engine or internal errors
+	Failed    int64 // engine or internal errors (after retries)
 	Queued    int   // requests currently waiting
-	Batches   int64 // engine launches
+	Batches   int64 // engine launches (probes included)
+
+	Retried      int64  // requeues of requests from failed batches
+	Panics       int64  // engine panics converted to errors
+	Timeouts     int64  // batches killed by the watchdog
+	Shed         int64  // requests shed while the breaker was open
+	BreakerTrips int64  // times the breaker opened
+	BreakerState string // "closed", "open", "half-open" or "disabled"
 }
 
 // Response is the outcome of one request.
@@ -69,21 +138,45 @@ var ErrServerClosed = errors.New("serve: server closed")
 // ErrQueueFull marks submissions beyond QueueCap.
 var ErrQueueFull = errors.New("serve: queue full")
 
+// TooLongError rejects submissions that exceed the row capacity — or, under
+// batch.SlottedConcat with a fixed slot size, the slot capacity: such a
+// request would be accepted and then sit unschedulable until its deadline.
+type TooLongError struct {
+	Len   int  // submitted token count
+	Limit int  // effective capacity it exceeded
+	Slot  bool // true when the limit is the slot size, not the row
+}
+
+func (e *TooLongError) Error() string {
+	what := "row capacity"
+	if e.Slot {
+		what = "slot size"
+	}
+	return fmt.Sprintf("serve: request of %d tokens exceeds %s %d", e.Len, what, e.Limit)
+}
+
 type pending struct {
 	req    *sched.Request
 	tokens []int
 	out    chan Response
 	queued time.Time
+	// attempts counts failed engine runs this request was part of;
+	// notBefore gates rescheduling until its backoff elapses.
+	attempts  int
+	notBefore float64
 }
 
 // Server is a running TCB serving instance.
 type Server struct {
-	cfg   Config
-	mu    sync.Mutex
-	queue map[int64]*pending
-	next  int64
-	stop  chan struct{}
-	done  chan struct{}
+	cfg      Config
+	runner   *SupervisedRunner
+	breaker  *Breaker
+	mu       sync.Mutex
+	queue    map[int64]*pending
+	next     int64
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
 	// wake is a capacity-1 edge trigger: Submit (and batch completion, for
 	// Drain) signal it so the loop reacts immediately instead of sleeping
 	// out the Poll interval. Poll remains only as a deadline-expiry
@@ -92,6 +185,7 @@ type Server struct {
 	base time.Time
 
 	submitted, served, missed, failed, batches int64
+	retried, panics, timeouts, shed            int64
 	draining                                   bool
 }
 
@@ -103,20 +197,66 @@ func New(cfg Config) (*Server, error) {
 	if cfg.B <= 0 || cfg.L <= 0 {
 		return nil, fmt.Errorf("serve: B=%d L=%d must be positive", cfg.B, cfg.L)
 	}
+	if cfg.SlotSize < 0 || cfg.SlotSize > cfg.L {
+		return nil, fmt.Errorf("serve: SlotSize=%d must be in [0, L=%d]", cfg.SlotSize, cfg.L)
+	}
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 4096
+	}
+	if cfg.OpenQueueCap <= 0 {
+		cfg.OpenQueueCap = cfg.QueueCap / 8
+		if cfg.OpenQueueCap < 1 {
+			cfg.OpenQueueCap = 1
+		}
 	}
 	if cfg.Poll <= 0 {
 		cfg.Poll = time.Millisecond
 	}
-	return &Server{
+	if cfg.Retry.MaxAttempts <= 0 {
+		cfg.Retry.MaxAttempts = 3
+	}
+	if cfg.Retry.Backoff <= 0 {
+		cfg.Retry.Backoff = cfg.Poll
+	}
+	if cfg.Retry.MaxBackoff <= 0 {
+		cfg.Retry.MaxBackoff = 64 * cfg.Retry.Backoff
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 250 * time.Millisecond
+	}
+	if cfg.TimeoutSlack <= 0 {
+		cfg.TimeoutSlack = 8
+	}
+	if cfg.MinBatchTimeout <= 0 {
+		cfg.MinBatchTimeout = 10 * cfg.Poll
+	}
+
+	s := &Server{
 		cfg:   cfg,
 		queue: make(map[int64]*pending),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 		wake:  make(chan struct{}, 1),
 		base:  time.Now(),
-	}, nil
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.breaker = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	var timeout func(*batch.Batch) time.Duration
+	if cfg.PredictBatch != nil {
+		timeout = func(b *batch.Batch) time.Duration {
+			d := time.Duration(float64(cfg.PredictBatch(b)) * cfg.TimeoutSlack)
+			if d < cfg.MinBatchTimeout {
+				d = cfg.MinBatchTimeout
+			}
+			return d
+		}
+	}
+	s.runner = &SupervisedRunner{Inner: cfg.Engine, Timeout: timeout, Breaker: s.breaker}
+	return s, nil
 }
 
 // Start launches the scheduling loop.
@@ -125,19 +265,32 @@ func (s *Server) Start() {
 }
 
 // Stop shuts the server down; queued requests fail with ErrServerClosed.
-// It blocks until the loop exits.
+// It blocks until the loop exits. Safe to call more than once and
+// concurrently with Drain.
 func (s *Server) Stop() {
-	close(s.stop)
+	s.signalStop()
 	<-s.done
 }
 
+func (s *Server) signalStop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
 // Drain stops accepting new submissions, serves everything already queued
-// (or lets it miss its deadline), then shuts down. It blocks until the
-// queue is empty and the loop has exited.
+// (or lets it miss its deadline), then shuts down. With a DrainTimeout
+// configured, a queue that does not empty in time — a wedged engine, an
+// open breaker — is failed with ErrServerClosed and Drain returns without
+// waiting for an in-flight batch that may never come back.
 func (s *Server) Drain() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	var deadline <-chan time.Time
+	if s.cfg.DrainTimeout > 0 {
+		t := time.NewTimer(s.cfg.DrainTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
 	for {
 		s.mu.Lock()
 		empty := len(s.queue) == 0
@@ -151,6 +304,10 @@ func (s *Server) Drain() {
 		select {
 		case <-s.wake:
 		case <-time.After(s.cfg.Poll):
+		case <-deadline:
+			s.failAll(ErrServerClosed)
+			s.signalStop()
+			return
 		}
 	}
 	s.Stop()
@@ -164,7 +321,10 @@ func (s *Server) Submit(tokens []int, deadline time.Duration) (<-chan Response, 
 		return nil, fmt.Errorf("serve: empty request")
 	}
 	if len(tokens) > s.cfg.L {
-		return nil, fmt.Errorf("serve: request of %d tokens exceeds row capacity %d", len(tokens), s.cfg.L)
+		return nil, &TooLongError{Len: len(tokens), Limit: s.cfg.L}
+	}
+	if s.cfg.Scheme == batch.SlottedConcat && s.cfg.SlotSize > 0 && len(tokens) > s.cfg.SlotSize {
+		return nil, &TooLongError{Len: len(tokens), Limit: s.cfg.SlotSize, Slot: true}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -178,6 +338,9 @@ func (s *Server) Submit(tokens []int, deadline time.Duration) (<-chan Response, 
 	}
 	if len(s.queue) >= s.cfg.QueueCap {
 		return nil, ErrQueueFull
+	}
+	if s.breaker != nil && s.breaker.State() == BreakerOpen && len(s.queue) >= s.cfg.OpenQueueCap {
+		return nil, ErrBreakerOpen
 	}
 	s.next++
 	id := s.next
@@ -210,16 +373,37 @@ func (s *Server) notify() {
 
 // Stats returns a snapshot of server counters.
 func (s *Server) Stats() Stats {
+	breakerState := "disabled"
+	var trips int64
+	if s.breaker != nil {
+		breakerState = s.breaker.State().String()
+		trips = s.breaker.Trips()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Submitted: s.submitted,
-		Served:    s.served,
-		Missed:    s.missed,
-		Failed:    s.failed,
-		Queued:    len(s.queue),
-		Batches:   s.batches,
+		Submitted:    s.submitted,
+		Served:       s.served,
+		Missed:       s.missed,
+		Failed:       s.failed,
+		Queued:       len(s.queue),
+		Batches:      s.batches,
+		Retried:      s.retried,
+		Panics:       s.panics,
+		Timeouts:     s.timeouts,
+		Shed:         s.shed,
+		BreakerTrips: trips,
+		BreakerState: breakerState,
 	}
+}
+
+// BreakerState returns the circuit breaker's current state
+// (BreakerClosed when no breaker is configured).
+func (s *Server) BreakerState() BreakerState {
+	if s.breaker == nil {
+		return BreakerClosed
+	}
+	return s.breaker.State()
 }
 
 // QueueLen returns the number of requests waiting.
@@ -232,6 +416,15 @@ func (s *Server) QueueLen() int {
 // clock returns seconds since server construction (the scheduler's time
 // base).
 func (s *Server) clock() float64 { return time.Since(s.base).Seconds() }
+
+// backoff returns the seconds a request waits after its attempt-th failure.
+func (s *Server) backoff(attempt int) float64 {
+	d := s.cfg.Retry.Backoff << uint(attempt-1)
+	if attempt < 1 || d <= 0 || d > s.cfg.Retry.MaxBackoff {
+		d = s.cfg.Retry.MaxBackoff
+	}
+	return d.Seconds()
+}
 
 func (s *Server) loop() {
 	defer close(s.done)
@@ -246,7 +439,8 @@ func (s *Server) loop() {
 		if !batchReady {
 			// Idle: block until a Submit signals work. Poll stays as a
 			// fallback so queued requests still get their deadline-expiry
-			// sweep even with no new arrivals.
+			// sweep (and the breaker its cooldown checks) with no new
+			// arrivals.
 			select {
 			case <-s.stop:
 				s.failAll(ErrServerClosed)
@@ -259,18 +453,33 @@ func (s *Server) loop() {
 }
 
 // scheduleOnce runs one scheduler+engine round. It returns false when the
-// queue offered nothing to run.
+// queue offered nothing to run (or the breaker refused to run it).
 func (s *Server) scheduleOnce() bool {
 	now := s.clock()
+	state := BreakerClosed
+	if s.breaker != nil {
+		state = s.breaker.State()
+	}
 
 	s.mu.Lock()
-	var pool []*sched.Request
 	for _, p := range s.queue {
 		if p.req.Deadline < now {
 			p.out <- Response{ID: p.req.ID, Err: ErrDeadlineExceeded, Queued: p.queued}
 			delete(s.queue, p.req.ID)
 			s.missed++
-			continue
+		}
+	}
+	if state == BreakerOpen {
+		// Degraded service: don't feed a down engine; shed the queue down
+		// to the reduced bound, keeping the highest-utility requests.
+		s.shedLocked()
+		s.mu.Unlock()
+		return false
+	}
+	var pool []*sched.Request
+	for _, p := range s.queue {
+		if p.notBefore > now {
+			continue // backing off after a failed batch
 		}
 		pool = append(pool, p.req)
 	}
@@ -278,7 +487,14 @@ func (s *Server) scheduleOnce() bool {
 		s.mu.Unlock()
 		return false
 	}
-	dec := s.cfg.Scheduler.Schedule(now, pool, s.cfg.B, s.cfg.L)
+	var dec sched.Decision
+	if state == BreakerHalfOpen {
+		// Probe the engine with the smallest useful launch: the single
+		// highest-utility request in a one-row naive batch.
+		dec = probeDecision(pool)
+	} else {
+		dec = s.cfg.Scheduler.Schedule(now, pool, s.cfg.B, s.cfg.L)
+	}
 	chosen := dec.Chosen()
 	if len(chosen) == 0 {
 		s.mu.Unlock()
@@ -294,43 +510,135 @@ func (s *Server) scheduleOnce() bool {
 	}
 	s.mu.Unlock()
 
-	b := s.layout(dec)
-	rep, err := s.cfg.Engine.Run(b, tokens)
+	var b *batch.Batch
+	if state == BreakerHalfOpen {
+		items := []batch.Item{{ID: chosen[0].ID, Len: chosen[0].Len}}
+		b, _ = batch.PackNaive(items, 1, s.cfg.L)
+	} else {
+		b = s.layout(dec)
+	}
+	rep, err := s.runner.Run(b, tokens)
 	served := time.Now()
 	s.mu.Lock()
 	s.batches++
 	s.mu.Unlock()
 	if err != nil {
-		s.mu.Lock()
-		s.failed += int64(len(selected))
-		s.mu.Unlock()
-		for _, p := range selected {
-			p.out <- Response{ID: p.req.ID, Err: err, Queued: p.queued, Served: served}
-		}
+		s.handleBatchFailure(selected, err, served)
 		s.notify()
 		return true
 	}
-	byID := make(map[int64]engine.Result, len(rep.Results))
-	for _, r := range rep.Results {
+	var results []engine.Result
+	if rep != nil {
+		results = rep.Results
+	}
+	byID := make(map[int64]engine.Result, len(results))
+	for _, r := range results {
 		byID[r.ID] = r
 	}
-	var okCount, lost int64
+	now = s.clock()
+	var okCount int64
+	s.mu.Lock()
 	for _, p := range selected {
 		r, ok := byID[p.req.ID]
 		if !ok {
-			lost++
-			p.out <- Response{ID: p.req.ID, Err: fmt.Errorf("serve: request %d lost by engine", p.req.ID), Queued: p.queued, Served: served}
+			// The engine dropped this result. Requeue like a failed batch
+			// member; its batchmates are unaffected.
+			lostErr := fmt.Errorf("serve: request %d lost by engine", p.req.ID)
+			s.retireOrRequeueLocked(p, lostErr, now, served)
 			continue
 		}
 		okCount++
 		p.out <- Response{ID: p.req.ID, Output: r.Output, Queued: p.queued, Served: served}
 	}
-	s.mu.Lock()
 	s.served += okCount
-	s.failed += lost
 	s.mu.Unlock()
 	s.notify()
 	return true
+}
+
+// handleBatchFailure disposes of a failed batch's requests: unexpired
+// requests with attempts left are requeued under backoff; the rest fail.
+// An ErrBreakerOpen refusal never reached the engine, so it requeues
+// everything without consuming attempts.
+func (s *Server) handleBatchFailure(selected []*pending, err error, served time.Time) {
+	now := s.clock()
+	var pe *PanicError
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case errors.As(err, &pe):
+		s.panics++
+	case errors.Is(err, ErrBatchTimeout):
+		s.timeouts++
+	}
+	if errors.Is(err, ErrBreakerOpen) {
+		// Raced a breaker trip between the state check and the run: park
+		// the whole selection for the loop to reconsider.
+		for _, p := range selected {
+			p.notBefore = now + s.cfg.Poll.Seconds()
+			s.queue[p.req.ID] = p
+		}
+		return
+	}
+	for _, p := range selected {
+		s.retireOrRequeueLocked(p, err, now, served)
+	}
+}
+
+// retireOrRequeueLocked charges p one failed attempt, then requeues it
+// under backoff, or fails it if its attempts are exhausted, or expires it
+// if its deadline already passed. Callers hold s.mu.
+func (s *Server) retireOrRequeueLocked(p *pending, err error, now float64, served time.Time) {
+	p.attempts++
+	switch {
+	case p.req.Deadline < now:
+		p.out <- Response{ID: p.req.ID, Err: ErrDeadlineExceeded, Queued: p.queued, Served: served}
+		s.missed++
+	case p.attempts >= s.cfg.Retry.MaxAttempts:
+		p.out <- Response{ID: p.req.ID, Err: err, Queued: p.queued, Served: served}
+		s.failed++
+	default:
+		p.notBefore = now + s.backoff(p.attempts)
+		s.queue[p.req.ID] = p
+		s.retried++
+	}
+}
+
+// shedLocked evicts the lowest-utility queued requests beyond OpenQueueCap.
+// Callers hold s.mu.
+func (s *Server) shedLocked() {
+	excess := len(s.queue) - s.cfg.OpenQueueCap
+	if excess <= 0 {
+		return
+	}
+	victims := make([]*pending, 0, len(s.queue))
+	for _, p := range s.queue {
+		victims = append(victims, p)
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		ui, uj := victims[i].req.Utility(), victims[j].req.Utility()
+		if ui != uj {
+			return ui < uj
+		}
+		return victims[i].req.ID > victims[j].req.ID
+	})
+	for _, p := range victims[:excess] {
+		p.out <- Response{ID: p.req.ID, Err: ErrShed, Queued: p.queued}
+		delete(s.queue, p.req.ID)
+		s.shed++
+	}
+}
+
+// probeDecision selects the single highest-utility request as a one-row
+// half-open probe.
+func probeDecision(pool []*sched.Request) sched.Decision {
+	best := pool[0]
+	for _, r := range pool[1:] {
+		if u, bu := r.Utility(), best.Utility(); u > bu || (u == bu && r.ID < best.ID) {
+			best = r
+		}
+	}
+	return sched.Decision{Rows: [][]*sched.Request{{best}}}
 }
 
 // layout converts a decision to a batch under the configured scheme.
@@ -347,6 +655,9 @@ func (s *Server) layout(dec sched.Decision) *batch.Batch {
 		// SlottedDAS emits slot-ordered feasible rows; adopt them directly
 		// so no chosen request can be dropped between decision and launch.
 		z := dec.SlotSize
+		if z <= 0 {
+			z = s.cfg.SlotSize
+		}
 		if z <= 0 {
 			z = s.cfg.L
 		}
