@@ -11,7 +11,14 @@
 // -cpuprofile and -memprofile write pprof profiles of the run (the usual
 // `go tool pprof` inputs); -fusedecode=false forces real-engine decode
 // experiments onto the per-row cached decoder for A/B against the fused
-// batch-wide path.
+// batch-wide path; -pipeline=false does the same for the three-stage serve
+// pipeline in ext-pipeline.
+//
+// When ext-pipeline runs under -json its figure (throughputs, speedup,
+// stage-utilization notes) is also written to BENCH_pipeline.json for CI
+// consumption, and -pipeline-gate fails the run if the measured pipelined
+// speedup drops below the gate on a multi-core machine (on GOMAXPROCS=1
+// there is nothing to overlap onto, so the gate is skipped with a warning).
 package main
 
 import (
@@ -44,6 +51,8 @@ func run() error {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	fuseDecode := flag.Bool("fusedecode", true, "decode through the fused batch-wide path (false = per-row escape hatch)")
+	pipeline := flag.Bool("pipeline", true, "serve ext-pipeline through the three-stage pipeline (false = serial escape hatch)")
+	pipelineGate := flag.Float64("pipeline-gate", 0, "fail if ext-pipeline's minimum speedup is below this (0 = off; skipped on a single-core runner)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -75,6 +84,7 @@ func run() error {
 	opt := experiments.Options{
 		Duration: *duration, Seed: *seed, Seeds: *seeds,
 		DisableFusedDecode: !*fuseDecode,
+		DisablePipeline:    !*pipeline,
 	}
 	if *list {
 		for _, r := range experiments.All(opt) {
@@ -106,6 +116,22 @@ func run() error {
 		} else if err := fig.Render(os.Stdout); err != nil {
 			return err
 		}
+		if r.ID == "ext-pipeline" {
+			if *jsonOut {
+				f, err := os.Create("BENCH_pipeline.json")
+				if err != nil {
+					return err
+				}
+				if err := fig.WriteJSON(f); err != nil {
+					f.Close()
+					return err
+				}
+				f.Close()
+			}
+			if err := checkPipelineGate(fig, *pipelineGate, !*pipeline); err != nil {
+				return err
+			}
+		}
 		if *csvDir != "" {
 			f, err := os.Create(filepath.Join(*csvDir, r.ID+".csv"))
 			if err != nil {
@@ -116,6 +142,35 @@ func run() error {
 				return err
 			}
 			f.Close()
+		}
+	}
+	return nil
+}
+
+// checkPipelineGate enforces -pipeline-gate against ext-pipeline's speedup
+// series: the A/B smoke CI runs to catch a pipeline that slows serving
+// down. The gate needs a second core to be meaningful — with GOMAXPROCS=1
+// the three stages time-slice one core and the expected speedup is 1×.
+func checkPipelineGate(fig *experiments.Figure, gate float64, disabled bool) error {
+	if gate <= 0 {
+		return nil
+	}
+	if disabled {
+		fmt.Fprintln(os.Stderr, "tcb-bench: -pipeline-gate skipped: pipeline disabled (-pipeline=false)")
+		return nil
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		fmt.Fprintln(os.Stderr, "tcb-bench: -pipeline-gate skipped: single-core runner has no overlap to win")
+		return nil
+	}
+	for i := range fig.X {
+		s, err := fig.Get("speedup", i)
+		if err != nil {
+			return err
+		}
+		if s < gate {
+			return fmt.Errorf("tcb-bench: pipelined/serial speedup %.3f at %s=%g below gate %.3f",
+				s, fig.XLabel, fig.X[i], gate)
 		}
 	}
 	return nil

@@ -55,6 +55,8 @@ func main() {
 	cooldown := flag.Duration("breaker-cooldown", 250*time.Millisecond, "open-state cooldown before a half-open probe")
 	batchTimeout := flag.Duration("batch-timeout", 0, "fixed per-batch watchdog budget (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the final drain (0 waits forever)")
+	pipeline := flag.Bool("pipeline", false, "overlap scheduling/layout/cleanup with compute (three-stage pipeline)")
+	reserve := flag.Int("reserve", 0, "cores withheld from kernel workers for the pipeline's non-compute stages (0 = default)")
 	flag.Parse()
 
 	var scheduler sched.Scheduler
@@ -107,6 +109,8 @@ func main() {
 		BreakerThreshold: *breakerK,
 		BreakerCooldown:  *cooldown,
 		DrainTimeout:     *drainTimeout,
+		Pipeline:         *pipeline,
+		ReserveCores:     *reserve,
 	}
 	if *batchTimeout > 0 {
 		// A fixed budget: the Config-level PredictBatch hook exists for
@@ -116,6 +120,14 @@ func main() {
 		srvCfg.PredictBatch = func(*batch.Batch) time.Duration { return fixed }
 		srvCfg.TimeoutSlack = 1
 		srvCfg.MinBatchTimeout = fixed
+		if *pipeline {
+			// The non-compute stages get the same flat treatment: each is
+			// expected well inside a quarter of the batch budget; past
+			// that it counts as a stage overrun in the stats.
+			srvCfg.PredictStages = func(*batch.Batch) (time.Duration, time.Duration) {
+				return fixed / 4, fixed / 4
+			}
+		}
 	}
 	srv, err := serve.New(srvCfg)
 	if err != nil {
@@ -191,6 +203,13 @@ func main() {
 	}
 	fmt.Printf("supervision: retried=%d panics=%d timeouts=%d shed=%d breaker=%s trips=%d\n",
 		st.Retried, st.Panics, st.Timeouts, st.Shed, st.BreakerState, st.BreakerTrips)
+	mode := "serial"
+	if st.Pipelined {
+		mode = "pipelined"
+	}
+	fmt.Printf("stages (%s): schedule=%.1fms compute=%.1fms cleanup=%.1fms overruns=%d\n",
+		mode, float64(st.ScheduleNs)/1e6, float64(st.ComputeNs)/1e6,
+		float64(st.CleanupNs)/1e6, st.StageOverruns)
 	if chaos != nil {
 		c := chaos.Counts()
 		fmt.Printf("chaos injected: errs=%d panics=%d slows=%d lost=%d\n",

@@ -200,6 +200,29 @@ func (p Params) PredictBatchDuration(b *batch.Batch) time.Duration {
 	return time.Duration(p.BatchTime(b) * float64(time.Second))
 }
 
+// PredictStageDurations splits PredictBatchDuration's budget across the
+// serve pipeline's three stages. The fixed launch overhead PerBatchSeconds
+// is the non-compute share of a batch: its LoadFraction part is the
+// next-batch data staging (the work the pipeline's prepare stage hides
+// behind compute, §4.2.2), the remainder is result unloading plus memory
+// cleaning (the cleanup stage). Compute is everything else — token, score
+// and decode work. The three durations sum to PredictBatchDuration, so the
+// per-stage budgets are consistent with the watchdog's whole-batch budget.
+func (p Params) PredictStageDurations(b *batch.Batch) (prepare, compute, cleanup time.Duration) {
+	total := p.BatchTime(b)
+	overhead := p.PerBatchSeconds
+	if overhead > total {
+		overhead = total
+	}
+	prepSecs := p.LoadFraction * overhead
+	cleanSecs := overhead - prepSecs
+	sec := float64(time.Second)
+	prepare = time.Duration(prepSecs * sec)
+	cleanup = time.Duration(cleanSecs * sec)
+	compute = time.Duration((total - overhead) * sec)
+	return prepare, compute, cleanup
+}
+
 // PlanTime returns the simulated seconds to run a sequence of sub-batches
 // back to back (TurboBatching's DP emits one per group).
 func (p Params) PlanTime(plan []*batch.Batch) float64 {

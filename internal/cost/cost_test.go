@@ -307,3 +307,31 @@ func TestPredictBatchDurationMatchesBatchTime(t *testing.T) {
 		t.Fatalf("PredictBatchDuration = %v, want %v (> 0)", got, want)
 	}
 }
+
+func TestPredictStageDurationsSumToBatchTime(t *testing.T) {
+	p := DefaultParams(testCfg())
+	b := concatBatch(50, 2, 20, 20, 10)
+	prep, comp, clean := p.PredictStageDurations(b)
+	if prep <= 0 || comp <= 0 || clean <= 0 {
+		t.Fatalf("stage durations must be positive: %v %v %v", prep, comp, clean)
+	}
+	total := p.PredictBatchDuration(b)
+	sum := prep + comp + clean
+	if diff := (sum - total).Abs(); diff > time.Microsecond {
+		t.Fatalf("stages sum to %v, batch budget is %v", sum, total)
+	}
+	// The load fraction governs the prepare:cleanup split.
+	wantRatio := p.LoadFraction / (1 - p.LoadFraction)
+	gotRatio := float64(prep) / float64(clean)
+	if math.Abs(gotRatio-wantRatio) > 0.01 {
+		t.Fatalf("prepare:cleanup = %v, want %v", gotRatio, wantRatio)
+	}
+}
+
+func TestPredictStageDurationsEmptyBatch(t *testing.T) {
+	p := DefaultParams(testCfg())
+	prep, comp, clean := p.PredictStageDurations(&batch.Batch{Scheme: batch.Concat})
+	if prep != 0 || comp != 0 || clean != 0 {
+		t.Fatalf("empty batch stages = %v %v %v, want zeros", prep, comp, clean)
+	}
+}

@@ -57,11 +57,20 @@ type Engine struct {
 	// the batch does not fit — the admission behaviour a real device
 	// shows instead of silently thrashing.
 	Mem *gpu.MemoryManager
+	// Pool is the persistent kernel worker pool every row-sharded tensor
+	// kernel dispatches onto. New wires the shared process pool; the field
+	// exists so ownership is explicit (the engine's compute runs on it,
+	// the serve pipeline reserves cores away from it via tensor.Reserve).
+	Pool *tensor.Pool
 }
 
 // New returns an engine over m generating at most maxNew tokens per request.
 func New(m *model.Model, maxNew int) *Engine {
-	return &Engine{Model: m, MaxNew: maxNew, FuseDecode: true, BytesPerToken: int64(m.Cfg.DModel) * 4}
+	return &Engine{
+		Model: m, MaxNew: maxNew, FuseDecode: true,
+		BytesPerToken: int64(m.Cfg.DModel) * 4,
+		Pool:          tensor.DefaultPool(),
+	}
 }
 
 // Result is the output for one request.
@@ -85,8 +94,50 @@ type Report struct {
 
 // Run executes b. tokens maps item IDs to their input token sequences; the
 // sequence length must equal the item's Len. Rows execute in parallel —
-// the batch dimension of a real GPU launch.
+// the batch dimension of a real GPU launch. Run is Prepare + RunPrepared +
+// Release in one call; the serve pipeline drives the three pieces
+// separately so staging and cleanup overlap neighbouring batches' compute.
 func (e *Engine) Run(b *batch.Batch, tokens map[int64][]int) (*Report, error) {
+	p, err := e.Prepare(b, tokens)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Release()
+	return e.RunPrepared(p)
+}
+
+// Prepared is a batch staged for execution: validated, its device memory
+// reserved, and every row's host-side tensors built (concatenated + padded
+// token ids, concat layout, slot descriptors, generation caps). Staging is
+// pure host work touching no model state, so the pipeline's prepare stage
+// runs it for batch t+1 while batch t computes.
+type Prepared struct {
+	Batch  *batch.Batch
+	Tokens map[int64][]int
+	// DeferCleaning makes RunPrepared skip the memory-cleaning simulations
+	// (the §4.2.2 whole-batch vs early-cleaning reports); the caller runs
+	// FinishReport later — the pipeline's cleanup stage, overlapped with
+	// the next batch's compute.
+	DeferCleaning bool
+
+	mode model.AttentionMode
+	// Staged per non-empty row, in batch-row order.
+	rows      []batch.Row
+	rowTokens [][]int
+	layouts   []model.RowLayout
+	slots     [][]model.Slot
+	caps      [][]int
+
+	eng      *Engine
+	memTag   string
+	released atomic.Bool
+}
+
+// Prepare validates b, reserves its device memory, and stages the host-side
+// row tensors. The reservation is held until Release; every successful
+// Prepare must be paired with Release (RunPrepared never frees it, so a
+// retried batch can be released before its requeue).
+func (e *Engine) Prepare(b *batch.Batch, tokens map[int64][]int) (*Prepared, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
@@ -100,57 +151,96 @@ func (e *Engine) Run(b *batch.Batch, tokens map[int64][]int) (*Report, error) {
 				it.ID, len(seq), it.Len)
 		}
 	}
-	mode := model.AttDense
+	p := &Prepared{Batch: b, Tokens: tokens, mode: model.AttDense, eng: e}
 	if b.Scheme == batch.SlottedConcat {
-		mode = model.AttSlotted
+		p.mode = model.AttSlotted
 	}
-
+	for _, row := range b.Rows {
+		if len(row.Items) == 0 {
+			continue
+		}
+		rowTokens, layout, slots := e.rowLayout(b, row, tokens, p.mode)
+		p.rows = append(p.rows, row)
+		p.rowTokens = append(p.rowTokens, rowTokens)
+		p.layouts = append(p.layouts, layout)
+		p.slots = append(p.slots, slots)
+		p.caps = append(p.caps, e.rowCaps(row))
+	}
 	if e.Mem != nil && b.TotalTokens() > 0 {
-		// Tag by a fresh launch id, not the batch pointer: concurrent Run
-		// calls on the same *batch.Batch would collide on Alloc/Free under
-		// a pointer-derived tag.
+		// Tag by a fresh launch id, not the batch pointer: concurrent runs
+		// on the same *batch.Batch would collide on Alloc/Free under a
+		// pointer-derived tag.
 		tag := fmt.Sprintf("launch-%d", launchSeq.Add(1))
 		if err := e.Mem.Alloc(tag, int64(b.TotalTokens())*e.BytesPerToken); err != nil {
 			return nil, err
 		}
-		defer func() {
-			_ = e.Mem.Free(tag)
-		}()
+		p.memTag = tag
 	}
+	return p, nil
+}
 
+// Release frees the batch's device-memory reservation. Idempotent and safe
+// on a nil receiver, so failure paths can release unconditionally before
+// requeueing the batch's requests.
+func (p *Prepared) Release() {
+	if p == nil || p.released.Swap(true) {
+		return
+	}
+	if p.memTag != "" {
+		_ = p.eng.Mem.Free(p.memTag)
+	}
+}
+
+// RunPrepared executes a staged batch. It does not release the memory
+// reservation (Release does) and, with DeferCleaning set, leaves the
+// cleaning simulations to FinishReport.
+func (e *Engine) RunPrepared(p *Prepared) (*Report, error) {
 	start := time.Now()
 	var results []Result
 	var runErr error
 	if e.MaxNew > 0 && e.UseCache && e.FuseDecode {
-		results, runErr = e.runFused(b, tokens, mode)
+		results, runErr = e.runFused(p)
 	} else {
-		results, runErr = e.runPerRow(b, tokens, mode)
+		results, runErr = e.runPerRow(p)
 	}
 	if runErr != nil {
 		return nil, runErr
 	}
-
 	rep := &Report{Elapsed: time.Since(start), Results: results}
-	finish := make(map[int64]int)
-	for _, r := range results {
-		finish[r.ID] = r.Steps
-	}
-	if e.MaxNew > 0 && len(rep.Results) > 0 {
-		whole, err := gpu.SimulateWholeBatchCleaning(b, finish, e.BytesPerToken)
-		if err != nil {
+	if !p.DeferCleaning {
+		if err := p.FinishReport(rep); err != nil {
 			return nil, err
-		}
-		rep.WholeBatch = whole
-		if b.Scheme == batch.SlottedConcat {
-			early, err := gpu.SimulateEarlyCleaning(b, finish, e.BytesPerToken)
-			if err != nil {
-				return nil, err
-			}
-			rep.Early = early
-			rep.HasEarly = true
 		}
 	}
 	return rep, nil
+}
+
+// FinishReport fills rep's memory-cleaning simulations (whole-batch
+// baseline, and the early policy for slotted batches). RunPrepared calls it
+// inline unless DeferCleaning moved it to the pipeline's cleanup stage.
+func (p *Prepared) FinishReport(rep *Report) error {
+	e := p.eng
+	if e.MaxNew <= 0 || len(rep.Results) == 0 {
+		return nil
+	}
+	finish := make(map[int64]int)
+	for _, r := range rep.Results {
+		finish[r.ID] = r.Steps
+	}
+	whole, err := gpu.SimulateWholeBatchCleaning(p.Batch, finish, e.BytesPerToken)
+	if err != nil {
+		return err
+	}
+	rep.WholeBatch = whole
+	if p.Batch.Scheme == batch.SlottedConcat {
+		early, err := gpu.SimulateEarlyCleaning(p.Batch, finish, e.BytesPerToken)
+		if err != nil {
+			return err
+		}
+		rep.Early = early
+		rep.HasEarly = true
+	}
+	return nil
 }
 
 // launchSeq numbers engine launches process-wide for memory-manager tags.
@@ -193,21 +283,21 @@ func (e *Engine) rowCaps(row batch.Row) []int {
 	return caps
 }
 
-// runPerRow executes every batch row end to end in its own goroutine — the
+// runPerRow executes every staged row end to end in its own goroutine — the
 // batch dimension of a real GPU launch, and the escape-hatch decode path
 // when fused decoding is disabled.
-func (e *Engine) runPerRow(b *batch.Batch, tokens map[int64][]int, mode model.AttentionMode) ([]Result, error) {
+func (e *Engine) runPerRow(p *Prepared) ([]Result, error) {
 	type rowOut struct {
 		results []Result
 		err     error
 	}
-	outs := make([]rowOut, len(b.Rows))
+	outs := make([]rowOut, len(p.rows))
 	var wg sync.WaitGroup
-	for ri := range b.Rows {
+	for ri := range p.rows {
 		wg.Add(1)
 		go func(ri int) {
 			defer wg.Done()
-			res, err := e.runRow(b, b.Rows[ri], tokens, mode)
+			res, err := e.runRow(p, ri)
 			outs[ri] = rowOut{res, err}
 		}(ri)
 	}
@@ -226,42 +316,35 @@ func (e *Engine) runPerRow(b *batch.Batch, tokens map[int64][]int, mode model.At
 // parallel as before, then every row's segments decode together through one
 // BatchDecodeState — one GEMM per layer per step across all rows instead of
 // one small-GEMM stream per row.
-func (e *Engine) runFused(b *batch.Batch, tokens map[int64][]int, mode model.AttentionMode) ([]Result, error) {
-	// Skip empty rows but keep batch-row order for the results.
-	rows := make([]batch.Row, 0, len(b.Rows))
-	for _, row := range b.Rows {
-		if len(row.Items) > 0 {
-			rows = append(rows, row)
-		}
-	}
-	if len(rows) == 0 {
+func (e *Engine) runFused(p *Prepared) ([]Result, error) {
+	if len(p.rows) == 0 {
 		return nil, nil
 	}
-	decRows := make([]model.BatchDecodeRow, len(rows))
-	caps := make([][]int, len(rows))
+	decRows := make([]model.BatchDecodeRow, len(p.rows))
 	var wg sync.WaitGroup
-	for ri := range rows {
+	for ri := range p.rows {
 		wg.Add(1)
 		go func(ri int) {
 			defer wg.Done()
-			rowTokens, layout, slots := e.rowLayout(b, rows[ri], tokens, mode)
+			// A fresh workspace per row goroutine: prepare-stage staging
+			// never aliases compute-stage buffers, so a pipelined prepare
+			// for batch t+1 cannot stomp batch t's encode.
 			ws := tensor.NewWorkspace()
 			defer ws.Close()
 			decRows[ri] = model.BatchDecodeRow{
-				EncOut: e.Model.EncodeRowWS(rowTokens, layout, slots, mode, true, ws),
-				Layout: layout,
+				EncOut: e.Model.EncodeRowWS(p.rowTokens[ri], p.layouts[ri], p.slots[ri], p.mode, true, ws),
+				Layout: p.layouts[ri],
 			}
-			caps[ri] = e.rowCaps(rows[ri])
 		}(ri)
 	}
 	wg.Wait()
 
-	gen, err := e.Model.GenerateBatchCached(decRows, caps)
+	gen, err := e.Model.GenerateBatchCached(decRows, p.caps)
 	if err != nil {
 		return nil, err
 	}
 	var results []Result
-	for ri, row := range rows {
+	for ri, row := range p.rows {
 		for i, it := range row.Items {
 			results = append(results, Result{ID: it.ID, Output: gen[ri][i].Tokens, Steps: gen[ri][i].Steps})
 		}
@@ -269,19 +352,15 @@ func (e *Engine) runFused(b *batch.Batch, tokens map[int64][]int, mode model.Att
 	return results, nil
 }
 
-// runRow executes one batch row: concatenate the items' tokens, encode,
-// decode, split results back per item.
-func (e *Engine) runRow(b *batch.Batch, row batch.Row, tokens map[int64][]int, mode model.AttentionMode) ([]Result, error) {
-	if len(row.Items) == 0 {
-		return nil, nil
-	}
-	rowTokens, layout, slots := e.rowLayout(b, row, tokens, mode)
+// runRow executes one staged row: encode, decode, split results per item.
+func (e *Engine) runRow(p *Prepared, ri int) ([]Result, error) {
+	row := p.rows[ri]
 	// One workspace per row goroutine: layer intermediates are checked out
 	// and released inside the encoder/decoder, and the buffers themselves
 	// are recycled across batches through the package pool.
 	ws := tensor.NewWorkspace()
 	defer ws.Close()
-	encOut := e.Model.EncodeRowWS(rowTokens, layout, slots, mode, true, ws)
+	encOut := e.Model.EncodeRowWS(p.rowTokens[ri], p.layouts[ri], p.slots[ri], p.mode, true, ws)
 	if e.MaxNew == 0 {
 		out := make([]Result, len(row.Items))
 		for i, it := range row.Items {
@@ -289,16 +368,15 @@ func (e *Engine) runRow(b *batch.Batch, row batch.Row, tokens map[int64][]int, m
 		}
 		return out, nil
 	}
-	caps := e.rowCaps(row)
 	var gen []model.GenerateResult
 	if e.UseCache {
 		var err error
-		gen, err = e.Model.GenerateRowCached(encOut, layout, caps)
+		gen, err = e.Model.GenerateRowCached(encOut, p.layouts[ri], p.caps[ri])
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		gen = e.Model.GenerateRowCapped(encOut, layout, slots, caps, mode)
+		gen = e.Model.GenerateRowCapped(encOut, p.layouts[ri], p.slots[ri], p.caps[ri], p.mode)
 	}
 	out := make([]Result, len(row.Items))
 	for i, it := range row.Items {

@@ -555,3 +555,114 @@ func TestConcurrentRunsShareBatch(t *testing.T) {
 		t.Fatalf("memory leaked: used=%d outstanding=%d", e.Mem.Used(), e.Mem.Outstanding())
 	}
 }
+
+// TestPreparedMatchesRun pins the split handoff to the one-shot path:
+// Prepare + RunPrepared + Release must produce the same outputs and the
+// same memory accounting as Run.
+func TestPreparedMatchesRun(t *testing.T) {
+	e := testEngine(t, 4)
+	src := rng.New(61)
+	tokens, items := makeRequests(src, 4, 6, 3)
+	b, _ := batch.PackConcat(items, 2, 10)
+	e.Mem = gpu.NewMemoryManager(int64(b.TotalTokens()) * e.BytesPerToken)
+
+	want, err := e.Run(b, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Prepare(b, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Mem.Used() == 0 {
+		t.Fatal("Prepare must hold the batch's reservation")
+	}
+	got, err := e.RunPrepared(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Mem.Used() == 0 {
+		t.Fatal("RunPrepared must not free the reservation")
+	}
+	p.Release()
+	if e.Mem.Used() != 0 || e.Mem.Outstanding() != 0 {
+		t.Fatalf("Release leaked: used=%d outstanding=%d", e.Mem.Used(), e.Mem.Outstanding())
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("results: %d vs %d", len(got.Results), len(want.Results))
+	}
+	for i := range want.Results {
+		w, g := want.Results[i], got.Results[i]
+		if w.ID != g.ID || len(w.Output) != len(g.Output) {
+			t.Fatalf("result %d: %+v vs %+v", i, w, g)
+		}
+		for j := range w.Output {
+			if w.Output[j] != g.Output[j] {
+				t.Fatalf("result %d token %d differs", i, j)
+			}
+		}
+	}
+	if got.WholeBatch != want.WholeBatch {
+		t.Fatalf("cleaning report differs: %+v vs %+v", got.WholeBatch, want.WholeBatch)
+	}
+}
+
+// TestPreparedReleaseIdempotent: double Release (and Release on nil) must
+// be safe — the serve pipeline releases on both the success and the
+// failure path, and a watchdog race can reach both.
+func TestPreparedReleaseIdempotent(t *testing.T) {
+	e := testEngine(t, 2)
+	src := rng.New(62)
+	tokens, items := makeRequests(src, 5)
+	b, _ := batch.PackConcat(items, 1, 8)
+	e.Mem = gpu.NewMemoryManager(int64(b.TotalTokens()) * e.BytesPerToken)
+	p, err := e.Prepare(b, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	p.Release()
+	var nilP *Prepared
+	nilP.Release()
+	if e.Mem.Used() != 0 || e.Mem.Outstanding() != 0 {
+		t.Fatalf("double release broke accounting: used=%d outstanding=%d",
+			e.Mem.Used(), e.Mem.Outstanding())
+	}
+}
+
+// TestDeferredFinishReportMatchesInline: running with DeferCleaning and
+// calling FinishReport afterwards must fill the same cleaning reports the
+// inline path produces.
+func TestDeferredFinishReportMatchesInline(t *testing.T) {
+	e := testEngine(t, 5)
+	src := rng.New(63)
+	tokens, items := makeRequests(src, 4, 3, 6)
+	b, _ := batch.PackSlotted(items, 2, 14, 7)
+
+	want, err := e.Run(b, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Prepare(b, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release()
+	p.DeferCleaning = true
+	got, err := e.RunPrepared(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WholeBatch != (gpu.CleaningReport{}) {
+		t.Fatal("DeferCleaning must leave the report empty until FinishReport")
+	}
+	if err := p.FinishReport(got); err != nil {
+		t.Fatal(err)
+	}
+	if got.WholeBatch != want.WholeBatch {
+		t.Fatalf("deferred whole-batch report differs: %+v vs %+v", got.WholeBatch, want.WholeBatch)
+	}
+	if got.HasEarly != want.HasEarly || got.Early != want.Early {
+		t.Fatalf("deferred early report differs: %+v vs %+v", got.Early, want.Early)
+	}
+}

@@ -36,6 +36,7 @@ func All(opt Options) []Runner {
 		{"ablation-slot-policy", func() (*Figure, error) { return AblationSlotPolicy(opt) }},
 		{"ablation-early-cleaning", func() (*Figure, error) { return AblationEarlyCleaning(opt) }},
 		{"ext-fused-decode", func() (*Figure, error) { return ExtFusedDecode(opt) }},
+		{"ext-pipeline", func() (*Figure, error) { return ExtPipeline(opt) }},
 		{"ablation-packing", func() (*Figure, error) { return AblationPacking() }},
 	}
 }

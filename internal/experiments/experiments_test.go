@@ -499,3 +499,35 @@ func TestMultiSeedAveragingDiffers(t *testing.T) {
 		}
 	}
 }
+
+func TestExtPipeline(t *testing.T) {
+	fig, err := ExtPipeline(fastOpt())
+	if err != nil {
+		t.Fatal(err) // includes the internal pipelined-vs-serial token check
+	}
+	for i := range fig.X {
+		for _, series := range []string{"serial", "pipelined"} {
+			tput, _ := fig.Get(series, i)
+			if tput <= 0 {
+				t.Fatalf("%s throughput %v at B=%v", series, tput, fig.X[i])
+			}
+		}
+		sp, _ := fig.Get("speedup", i)
+		if sp <= 0 {
+			t.Fatalf("speedup %v at B=%v", sp, fig.X[i])
+		}
+	}
+	// Escape hatch: the figure must still validate with the pipeline off.
+	off := fastOpt()
+	off.DisablePipeline = true
+	fig, err = ExtPipeline(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fig.X {
+		sp, _ := fig.Get("speedup", i)
+		if sp != 1 {
+			t.Fatalf("disabled pipeline must report 1x, got %v", sp)
+		}
+	}
+}

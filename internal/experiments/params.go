@@ -21,6 +21,11 @@ type Options struct {
 	// KV cache fall back to the per-row decoder instead of the batch-wide
 	// fused one. Outputs are token-identical either way; only timing moves.
 	DisableFusedDecode bool
+	// DisablePipeline is the escape hatch behind tcb-bench's
+	// -pipeline=false: ext-pipeline skips the pipelined serving run and
+	// mirrors the serial series instead, for A/B isolation on machines
+	// where the overlap cannot help (e.g. single-core runners).
+	DisablePipeline bool
 }
 
 // DefaultOptions runs each point over a 5-second trace.

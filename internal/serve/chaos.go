@@ -70,47 +70,103 @@ func (c *ChaosRunner) Counts() ChaosCounts {
 	return c.injected
 }
 
+// chaosDraw is one call's fault schedule, drawn under the lock in call
+// order so the same seed yields the same schedule on the plain and the
+// prepared execution paths alike.
+type chaosDraw struct {
+	slow, pan, fail, lose bool
+}
+
+func (c *ChaosRunner) draw() chaosDraw {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := chaosDraw{
+		slow: c.src.Float64() < c.cfg.SlowRate,
+		pan:  c.src.Float64() < c.cfg.PanicRate,
+		fail: c.src.Float64() < c.cfg.ErrRate,
+		lose: c.src.Float64() < c.cfg.LoseRate,
+	}
+	if d.slow {
+		c.injected.Slows++
+	}
+	if d.pan {
+		c.injected.Panics++
+	} else if d.fail {
+		c.injected.Errs++
+	}
+	return d
+}
+
+// inject acts out the pre-run part of a draw: sleep, panic or error. It
+// runs outside the lock — a slow run must not serialize later calls.
+func (c *ChaosRunner) inject(d chaosDraw, b *batch.Batch) error {
+	if d.slow {
+		time.Sleep(c.cfg.SlowDelay)
+	}
+	if d.pan {
+		panic(fmt.Sprintf("chaos: injected panic (batch of %d items)", b.NumItems()))
+	}
+	if d.fail {
+		return fmt.Errorf("%w (batch of %d items)", ErrChaos, b.NumItems())
+	}
+	return nil
+}
+
+// maybeLose drops one result from a successful report when the draw says so.
+func (c *ChaosRunner) maybeLose(d chaosDraw, rep *engine.Report) *engine.Report {
+	if !d.lose || rep == nil || len(rep.Results) == 0 {
+		return rep
+	}
+	c.mu.Lock()
+	drop := c.src.Intn(len(rep.Results))
+	c.injected.Lost++
+	c.mu.Unlock()
+	trimmed := make([]engine.Result, 0, len(rep.Results)-1)
+	trimmed = append(trimmed, rep.Results[:drop]...)
+	trimmed = append(trimmed, rep.Results[drop+1:]...)
+	clone := *rep
+	clone.Results = trimmed
+	return &clone
+}
+
 // Run implements Runner with fault injection. Injected panics are expected
 // to be recovered by the SupervisedRunner above this one.
 func (c *ChaosRunner) Run(b *batch.Batch, tokens map[int64][]int) (*engine.Report, error) {
-	// Draw the whole fault schedule for this call under the lock, then act
-	// outside it: a slow run must not serialize later calls behind it.
-	c.mu.Lock()
-	slow := c.src.Float64() < c.cfg.SlowRate
-	pan := c.src.Float64() < c.cfg.PanicRate
-	fail := c.src.Float64() < c.cfg.ErrRate
-	lose := c.src.Float64() < c.cfg.LoseRate
-	if slow {
-		c.injected.Slows++
-	}
-	if pan {
-		c.injected.Panics++
-	} else if fail {
-		c.injected.Errs++
-	}
-	c.mu.Unlock()
-
-	if slow {
-		time.Sleep(c.cfg.SlowDelay)
-	}
-	if pan {
-		panic(fmt.Sprintf("chaos: injected panic (batch of %d items)", b.NumItems()))
-	}
-	if fail {
-		return nil, fmt.Errorf("%w (batch of %d items)", ErrChaos, b.NumItems())
+	d := c.draw()
+	if err := c.inject(d, b); err != nil {
+		return nil, err
 	}
 	rep, err := c.Inner.Run(b, tokens)
-	if err == nil && lose && rep != nil && len(rep.Results) > 0 {
-		c.mu.Lock()
-		drop := c.src.Intn(len(rep.Results))
-		c.injected.Lost++
-		c.mu.Unlock()
-		trimmed := make([]engine.Result, 0, len(rep.Results)-1)
-		trimmed = append(trimmed, rep.Results[:drop]...)
-		trimmed = append(trimmed, rep.Results[drop+1:]...)
-		clone := *rep
-		clone.Results = trimmed
-		rep = &clone
+	if err == nil {
+		rep = c.maybeLose(d, rep)
+	}
+	return rep, err
+}
+
+// Prepare forwards to the inner runner's prepared handoff. Staging itself
+// is never faulted (faults fire at execution time, like a real launch); a
+// nil, nil return tells the server the inner runner has no prepared path.
+func (c *ChaosRunner) Prepare(b *batch.Batch, tokens map[int64][]int) (*engine.Prepared, error) {
+	if pr, ok := c.Inner.(PreparedRunner); ok {
+		return pr.Prepare(b, tokens)
+	}
+	return nil, nil
+}
+
+// RunPrepared implements PreparedRunner with the same per-call fault
+// schedule as Run: one draw per engine invocation, in call order.
+func (c *ChaosRunner) RunPrepared(p *engine.Prepared) (*engine.Report, error) {
+	d := c.draw()
+	if err := c.inject(d, p.Batch); err != nil {
+		return nil, err
+	}
+	pr, ok := c.Inner.(PreparedRunner)
+	if !ok {
+		return nil, fmt.Errorf("chaos: inner runner has no prepared path")
+	}
+	rep, err := pr.RunPrepared(p)
+	if err == nil {
+		rep = c.maybeLose(d, rep)
 	}
 	return rep, err
 }

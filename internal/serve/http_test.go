@@ -109,6 +109,9 @@ func TestHTTPStatsAndHealth(t *testing.T) {
 	if st.Submitted < 1 || st.Served < 1 {
 		t.Fatalf("stats = %+v", st)
 	}
+	if st.ScheduleNs <= 0 || st.ComputeNs <= 0 || st.CleanupNs <= 0 {
+		t.Fatalf("per-stage latencies missing from stats JSON: %+v", st)
+	}
 
 	h, err := http.Get(ts.URL + "/healthz")
 	if err != nil {

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"tcb/internal/engine"
+	"tcb/internal/tensor"
+)
+
+// This file is the three-stage serve pipeline (Config.Pipeline): the
+// paper's §4.2.2 overlap argument made real. Slot independence under
+// ConcatBatching means next-batch loading and memory cleaning need not
+// serialize with inference, so the server splits its round into
+//
+//	stage A (this goroutine):  sweep → schedule → layout → stage tensors
+//	stage B (computeStage):    supervised engine execution
+//	stage C (cleanupStage):    deliver → requeue → cleaning report → release
+//
+// connected by capacity-1 channels: while batch t computes, batch t+1 is
+// being scheduled and staged and batch t−1 is being delivered and cleaned.
+// At most three batches are in flight. Each stage's batches pass through in
+// order, every launch visits every stage exactly once, and each buffer
+// (queue entries, the Prepared's staged tensors, the Report) is owned by
+// exactly one stage at a time — handoff over the channels is the transfer
+// of ownership, so prepare never aliases compute. Outputs are bitwise
+// identical to the serial loop: concatenation isolation means a request's
+// output depends only on its own tokens, never on which batch neighbours
+// or pipeline phase surrounded it.
+//
+// The supervision semantics are unchanged per-stage: stage B runs under the
+// same SupervisedRunner (panic capture, watchdog, breaker) as the serial
+// loop, stage A consults the breaker before scheduling and admits a single
+// half-open probe only when no batch is in flight, and stage C requeues
+// failures with the same retry policy — releasing the memory reservation
+// before the requeue.
+func (s *Server) pipelineLoop() {
+	defer close(s.done)
+	// Keep cores for the non-compute stages: kernels plan their chunk
+	// fan-out around the reservation, so stage B's compute cannot starve
+	// stage A/C of the scheduler.
+	release := tensor.Reserve(s.cfg.ReserveCores)
+	defer release()
+
+	prepCh := make(chan *launch, 1)
+	compCh := make(chan *computed, 1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go s.computeStage(prepCh, compCh, &wg)
+	go s.cleanupStage(compCh, &wg)
+	for {
+		select {
+		case <-s.stop:
+			// Stop producing; let in-flight batches finish their stages
+			// (bounded by pipeline depth), then fail what is still queued.
+			close(prepCh)
+			wg.Wait()
+			s.failAll(ErrServerClosed)
+			return
+		default:
+		}
+		t0 := time.Now()
+		l := s.selectBatch()
+		d := time.Since(t0)
+		s.scheduleNs.Add(d.Nanoseconds())
+		if l != nil {
+			s.observeStage(l, d, true)
+			// Blocking handoff: waits only while stage B still runs the
+			// previous batch, which is exactly the overlap window.
+			prepCh <- l
+			continue
+		}
+		// Idle: block until a Submit signals work; Poll paces the
+		// deadline-expiry sweep, as in the serial loop.
+		select {
+		case <-s.stop: // handled at the top of the loop
+		case <-s.wake:
+		case <-time.After(s.cfg.Poll):
+		}
+	}
+}
+
+// computed carries one executed batch from stage B to stage C.
+type computed struct {
+	l      *launch
+	rep    *engine.Report
+	err    error
+	served time.Time
+}
+
+// computeStage is stage B: execute each staged batch under supervision.
+func (s *Server) computeStage(in <-chan *launch, out chan<- *computed, wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer close(out)
+	for l := range in {
+		t0 := time.Now()
+		rep, err := s.executeBatch(l)
+		served := time.Now()
+		s.computeNs.Add(served.Sub(t0).Nanoseconds())
+		out <- &computed{l: l, rep: rep, err: err, served: served}
+	}
+}
+
+// cleanupStage is stage C: deliver, requeue, memory-clean, release.
+func (s *Server) cleanupStage(in <-chan *computed, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for c := range in {
+		t0 := time.Now()
+		s.completeBatch(c.l, c.rep, c.err, c.served)
+		d := time.Since(t0)
+		s.cleanupNs.Add(d.Nanoseconds())
+		s.observeStage(c.l, d, false)
+	}
+}
+
+// observeStage checks a non-compute stage's wall time against the cost
+// model's prediction (Config.PredictStages); overruns are only counted —
+// the stage already ran — but they surface a mis-calibrated model in Stats
+// the way watchdog kills do for compute.
+func (s *Server) observeStage(l *launch, took time.Duration, prepare bool) {
+	if s.cfg.PredictStages == nil || l.b == nil {
+		return
+	}
+	prepBudget, cleanBudget := s.cfg.PredictStages(l.b)
+	budget := cleanBudget
+	if prepare {
+		budget = prepBudget
+	}
+	if budget <= 0 {
+		return
+	}
+	if took > time.Duration(float64(budget)*s.cfg.TimeoutSlack) {
+		s.stageOverruns.Add(1)
+	}
+}

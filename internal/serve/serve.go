@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tcb/internal/batch"
@@ -32,6 +33,18 @@ import (
 // deployments can substitute backends. *engine.Engine implements it.
 type Runner interface {
 	Run(b *batch.Batch, tokens map[int64][]int) (*engine.Report, error)
+}
+
+// PreparedRunner is a Runner with a prepared-batch handoff: Prepare stages
+// a batch (validation, memory reservation, host-side tensor staging) and
+// RunPrepared executes it, so the server can overlap staging and cleanup
+// with a neighbouring batch's compute. *engine.Engine implements it; a
+// Prepare that returns (nil, nil) tells the server to fall back to Run for
+// that batch (wrappers around a plain Runner do this).
+type PreparedRunner interface {
+	Runner
+	Prepare(b *batch.Batch, tokens map[int64][]int) (*engine.Prepared, error)
+	RunPrepared(p *engine.Prepared) (*engine.Report, error)
 }
 
 // RetryPolicy bounds how failed batches are retried. A request consumes one
@@ -101,6 +114,26 @@ type Config struct {
 	// in-flight batch that may never come back. Zero preserves the
 	// unbounded behaviour.
 	DrainTimeout time.Duration
+
+	// Pipeline enables the three-stage serve pipeline (pipeline.go): stage
+	// A schedules, lays out and stages batch t+1 while stage B computes
+	// batch t and stage C delivers, requeues and memory-cleans batch t−1.
+	// Outputs are identical to the serial loop (concat isolation: each
+	// request's output depends only on its own tokens); only overlap
+	// changes. Requires an Engine implementing PreparedRunner for full
+	// overlap; plain Runners still work, stage A just stops at layout.
+	Pipeline bool
+	// ReserveCores is how many logical cores the pipeline withholds from
+	// the tensor kernel worker plan (tensor.Reserve) so its non-compute
+	// stages keep running while compute saturates the rest. Zero defaults
+	// to 1 when Pipeline is set; ignored otherwise.
+	ReserveCores int
+	// PredictStages, when non-nil, predicts a batch's prepare and cleanup
+	// stage durations (e.g. cost.Params.PredictStageDurations); a pipelined
+	// stage exceeding its prediction × TimeoutSlack counts as a stage
+	// overrun in Stats. The compute stage is covered by PredictBatch and
+	// the supervision watchdog instead.
+	PredictStages func(b *batch.Batch) (prepare, cleanup time.Duration)
 }
 
 // Stats is a point-in-time snapshot of server counters.
@@ -118,6 +151,22 @@ type Stats struct {
 	Shed         int64  // requests shed while the breaker was open
 	BreakerTrips int64  // times the breaker opened
 	BreakerState string // "closed", "open", "half-open" or "disabled"
+
+	// Per-stage wall-clock totals, replacing the old lumped queue-wait +
+	// compute number: ScheduleNs covers the deadline sweep, scheduling,
+	// layout and host-side staging (stage A); ComputeNs the supervised
+	// engine execution (stage B); CleanupNs delivery, requeueing, the
+	// memory-cleaning report and reservation release (stage C). Under the
+	// pipeline the three accrue concurrently, so their sum can exceed
+	// wall time — that surplus is exactly the hidden latency.
+	ScheduleNs int64
+	ComputeNs  int64
+	CleanupNs  int64
+	// StageOverruns counts pipelined prepare/cleanup stage executions that
+	// exceeded their PredictStages budget × TimeoutSlack.
+	StageOverruns int64
+	// Pipelined reports whether the three-stage pipeline is active.
+	Pipelined bool
 }
 
 // Response is the outcome of one request.
@@ -168,9 +217,12 @@ type pending struct {
 
 // Server is a running TCB serving instance.
 type Server struct {
-	cfg      Config
-	runner   *SupervisedRunner
-	breaker  *Breaker
+	cfg     Config
+	runner  *SupervisedRunner
+	breaker *Breaker
+	// preparer is cfg.Engine's prepared-batch handoff, when it has one;
+	// nil servers run every batch through the plain Run path.
+	preparer PreparedRunner
 	mu       sync.Mutex
 	queue    map[int64]*pending
 	next     int64
@@ -186,7 +238,26 @@ type Server struct {
 
 	submitted, served, missed, failed, batches int64
 	retried, panics, timeouts, shed            int64
-	draining                                   bool
+	// inFlight counts batches between selection and completion; Drain
+	// waits for it to reach zero (under the pipeline the queue can be
+	// empty while up to three batches are still in the stages).
+	inFlight int
+	draining bool
+
+	// Per-stage wall-clock accumulators; atomic because the pipeline's
+	// three stage goroutines update them concurrently.
+	scheduleNs, computeNs, cleanupNs atomic.Int64
+	stageOverruns                    atomic.Int64
+}
+
+// launch is one scheduled batch moving through the serve stages: selected
+// and laid out in stage A, executed in stage B, delivered and cleaned in
+// stage C.
+type launch struct {
+	selected []*pending
+	tokens   map[int64][]int
+	b        *batch.Batch
+	ep       *engine.Prepared // non-nil on the prepared handoff path
 }
 
 // New validates cfg and returns an unstarted server.
@@ -233,6 +304,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MinBatchTimeout <= 0 {
 		cfg.MinBatchTimeout = 10 * cfg.Poll
 	}
+	if cfg.ReserveCores < 0 {
+		return nil, fmt.Errorf("serve: ReserveCores=%d must be non-negative", cfg.ReserveCores)
+	}
+	if cfg.Pipeline && cfg.ReserveCores == 0 {
+		cfg.ReserveCores = 1
+	}
 
 	s := &Server{
 		cfg:   cfg,
@@ -256,11 +333,16 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.runner = &SupervisedRunner{Inner: cfg.Engine, Timeout: timeout, Breaker: s.breaker}
+	s.preparer, _ = cfg.Engine.(PreparedRunner)
 	return s, nil
 }
 
-// Start launches the scheduling loop.
+// Start launches the scheduling loop (or the three-stage pipeline).
 func (s *Server) Start() {
+	if s.cfg.Pipeline {
+		go s.pipelineLoop()
+		return
+	}
 	go s.loop()
 }
 
@@ -293,7 +375,9 @@ func (s *Server) Drain() {
 	}
 	for {
 		s.mu.Lock()
-		empty := len(s.queue) == 0
+		// Under the pipeline the queue can be empty while batches are
+		// still moving through the stages; wait for those too.
+		empty := len(s.queue) == 0 && s.inFlight == 0
 		s.mu.Unlock()
 		if empty {
 			break
@@ -382,18 +466,23 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Submitted:    s.submitted,
-		Served:       s.served,
-		Missed:       s.missed,
-		Failed:       s.failed,
-		Queued:       len(s.queue),
-		Batches:      s.batches,
-		Retried:      s.retried,
-		Panics:       s.panics,
-		Timeouts:     s.timeouts,
-		Shed:         s.shed,
-		BreakerTrips: trips,
-		BreakerState: breakerState,
+		Submitted:     s.submitted,
+		Served:        s.served,
+		Missed:        s.missed,
+		Failed:        s.failed,
+		Queued:        len(s.queue),
+		Batches:       s.batches,
+		Retried:       s.retried,
+		Panics:        s.panics,
+		Timeouts:      s.timeouts,
+		Shed:          s.shed,
+		BreakerTrips:  trips,
+		BreakerState:  breakerState,
+		ScheduleNs:    s.scheduleNs.Load(),
+		ComputeNs:     s.computeNs.Load(),
+		CleanupNs:     s.cleanupNs.Load(),
+		StageOverruns: s.stageOverruns.Load(),
+		Pipelined:     s.cfg.Pipeline,
 	}
 }
 
@@ -452,9 +541,30 @@ func (s *Server) loop() {
 	}
 }
 
-// scheduleOnce runs one scheduler+engine round. It returns false when the
-// queue offered nothing to run (or the breaker refused to run it).
+// scheduleOnce runs one serial scheduler+engine round: the three stages
+// back to back on the loop goroutine. It returns false when the queue
+// offered nothing to run (or the breaker refused to run it).
 func (s *Server) scheduleOnce() bool {
+	t0 := time.Now()
+	l := s.selectBatch()
+	s.scheduleNs.Add(time.Since(t0).Nanoseconds())
+	if l == nil {
+		return false
+	}
+	t1 := time.Now()
+	rep, err := s.executeBatch(l)
+	served := time.Now()
+	s.computeNs.Add(served.Sub(t1).Nanoseconds())
+	s.completeBatch(l, rep, err, served)
+	s.cleanupNs.Add(time.Since(served).Nanoseconds())
+	return true
+}
+
+// selectBatch is stage A: sweep expired deadlines, consult the breaker,
+// schedule, lay the decision out and stage the batch's host-side tensors.
+// It returns nil when nothing is runnable. On success the chosen requests
+// are out of the queue and counted in-flight until completeBatch.
+func (s *Server) selectBatch() *launch {
 	now := s.clock()
 	state := BreakerClosed
 	if s.breaker != nil {
@@ -474,7 +584,13 @@ func (s *Server) scheduleOnce() bool {
 		// to the reduced bound, keeping the highest-utility requests.
 		s.shedLocked()
 		s.mu.Unlock()
-		return false
+		return nil
+	}
+	if state == BreakerHalfOpen && s.inFlight > 0 {
+		// Half-open admits a single probe: with the pipeline a batch may
+		// still be in the stages, so hold scheduling until its outcome.
+		s.mu.Unlock()
+		return nil
 	}
 	var pool []*sched.Request
 	for _, p := range s.queue {
@@ -485,7 +601,7 @@ func (s *Server) scheduleOnce() bool {
 	}
 	if len(pool) == 0 {
 		s.mu.Unlock()
-		return false
+		return nil
 	}
 	var dec sched.Decision
 	if state == BreakerHalfOpen {
@@ -498,7 +614,7 @@ func (s *Server) scheduleOnce() bool {
 	chosen := dec.Chosen()
 	if len(chosen) == 0 {
 		s.mu.Unlock()
-		return false
+		return nil
 	}
 	selected := make([]*pending, 0, len(chosen))
 	tokens := make(map[int64][]int, len(chosen))
@@ -508,24 +624,78 @@ func (s *Server) scheduleOnce() bool {
 		tokens[r.ID] = p.tokens
 		delete(s.queue, r.ID)
 	}
+	s.inFlight++
 	s.mu.Unlock()
 
-	var b *batch.Batch
+	l := &launch{selected: selected, tokens: tokens}
 	if state == BreakerHalfOpen {
 		items := []batch.Item{{ID: chosen[0].ID, Len: chosen[0].Len}}
-		b, _ = batch.PackNaive(items, 1, s.cfg.L)
+		l.b, _ = batch.PackNaive(items, 1, s.cfg.L)
 	} else {
-		b = s.layout(dec)
+		l.b = s.layout(dec)
 	}
-	rep, err := s.runner.Run(b, tokens)
-	served := time.Now()
+	if s.preparer != nil {
+		ep, err := s.preparer.Prepare(l.b, l.tokens)
+		if err != nil {
+			// Staging or memory admission failed before the engine ran:
+			// park the selection for a Poll without charging an attempt
+			// (mirrors the ErrBreakerOpen race path). An expired deadline
+			// still retires it on a later sweep.
+			now = s.clock()
+			s.mu.Lock()
+			for _, p := range l.selected {
+				p.notBefore = now + s.cfg.Poll.Seconds()
+				s.queue[p.req.ID] = p
+			}
+			s.inFlight--
+			s.mu.Unlock()
+			s.notify()
+			return nil
+		}
+		// ep may be nil (a wrapper around a plain Runner): fall back to Run.
+		l.ep = ep
+		if l.ep != nil && s.cfg.Pipeline {
+			// Move the cleaning report into stage C, overlapped with the
+			// next batch's compute.
+			l.ep.DeferCleaning = true
+		}
+	}
+	return l
+}
+
+// executeBatch is stage B: the supervised engine invocation.
+func (s *Server) executeBatch(l *launch) (*engine.Report, error) {
+	var rep *engine.Report
+	var err error
+	if l.ep != nil {
+		rep, err = s.runner.RunPrepared(l.ep)
+	} else {
+		rep, err = s.runner.Run(l.b, l.tokens)
+	}
 	s.mu.Lock()
 	s.batches++
 	s.mu.Unlock()
+	return rep, err
+}
+
+// completeBatch is stage C: deliver results, requeue retries and losses,
+// finish the deferred memory-cleaning report and release the batch's
+// reservation.
+func (s *Server) completeBatch(l *launch, rep *engine.Report, err error, served time.Time) {
+	if err == nil && l.ep != nil && l.ep.DeferCleaning && rep != nil {
+		err = l.ep.FinishReport(rep)
+	}
 	if err != nil {
-		s.handleBatchFailure(selected, err, served)
+		// Release the reservation BEFORE requeueing: the watchdog abandons
+		// a hung run without freeing anything, so a retried batch would
+		// otherwise deadlock against its own previous reservation.
+		l.ep.Release()
+		s.handleBatchFailure(l.selected, err, served)
+		s.mu.Lock()
+		s.inFlight--
+		s.mu.Unlock()
 		s.notify()
-		return true
+		return
 	}
 	var results []engine.Result
 	if rep != nil {
@@ -535,10 +705,10 @@ func (s *Server) scheduleOnce() bool {
 	for _, r := range results {
 		byID[r.ID] = r
 	}
-	now = s.clock()
+	now := s.clock()
 	var okCount int64
 	s.mu.Lock()
-	for _, p := range selected {
+	for _, p := range l.selected {
 		r, ok := byID[p.req.ID]
 		if !ok {
 			// The engine dropped this result. Requeue like a failed batch
@@ -551,9 +721,10 @@ func (s *Server) scheduleOnce() bool {
 		p.out <- Response{ID: p.req.ID, Output: r.Output, Queued: p.queued, Served: served}
 	}
 	s.served += okCount
+	s.inFlight--
 	s.mu.Unlock()
+	l.ep.Release()
 	s.notify()
-	return true
 }
 
 // handleBatchFailure disposes of a failed batch's requests: unexpired

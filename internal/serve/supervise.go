@@ -182,6 +182,26 @@ type SupervisedRunner struct {
 // result discarded); an open breaker refuses the run with ErrBreakerOpen
 // without touching the engine or recording an outcome.
 func (s *SupervisedRunner) Run(b *batch.Batch, tokens map[int64][]int) (*engine.Report, error) {
+	return s.supervise(b, func() (*engine.Report, error) { return s.Inner.Run(b, tokens) })
+}
+
+// RunPrepared executes a staged batch under the identical supervision
+// envelope (panic capture, watchdog, breaker). An inner runner without
+// prepared-handoff support degrades to the plain Run path. Note a
+// watchdog-abandoned run keeps computing in its goroutine — it never frees
+// the batch's memory reservation, which is why the serve loop releases the
+// Prepared before requeueing (see completeBatch).
+func (s *SupervisedRunner) RunPrepared(p *engine.Prepared) (*engine.Report, error) {
+	inner, ok := s.Inner.(PreparedRunner)
+	if !ok {
+		return s.Run(p.Batch, p.Tokens)
+	}
+	return s.supervise(p.Batch, func() (*engine.Report, error) { return inner.RunPrepared(p) })
+}
+
+// supervise runs one engine invocation under panic capture, the per-batch
+// watchdog and breaker accounting — the shared core of Run and RunPrepared.
+func (s *SupervisedRunner) supervise(b *batch.Batch, run func() (*engine.Report, error)) (*engine.Report, error) {
 	if s.Breaker != nil && !s.Breaker.Allow() {
 		return nil, ErrBreakerOpen
 	}
@@ -196,7 +216,7 @@ func (s *SupervisedRunner) Run(b *batch.Batch, tokens map[int64][]int) (*engine.
 				ch <- outcome{nil, &PanicError{Value: r, Stack: debug.Stack()}}
 			}
 		}()
-		rep, err := s.Inner.Run(b, tokens)
+		rep, err := run()
 		ch <- outcome{rep, err}
 	}()
 

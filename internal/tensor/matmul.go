@@ -2,73 +2,7 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 )
-
-// maxWorkers bounds the parallel fan-out of row-sharded kernels.
-func maxWorkers() int {
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
-
-// planWorkers returns the number of workers parallelRows will use for a job
-// of rows rows: never more than GOMAXPROCS, and never so many that a worker
-// would own fewer than minRowsPerWorker rows. A result of 1 means the job
-// runs inline on the calling goroutine, with no goroutines and no closure
-// allocation — kernels consult it to keep small jobs allocation-free.
-func planWorkers(rows, minRowsPerWorker int) int {
-	if minRowsPerWorker < 1 {
-		minRowsPerWorker = 1
-	}
-	w := maxWorkers()
-	if byRows := rows / minRowsPerWorker; byRows < w {
-		w = byRows
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
-}
-
-// parallelRows runs fn over row ranges [lo, hi) sharded across workers.
-// Small jobs run inline to avoid goroutine overhead. The row range is split
-// into exactly planWorkers(rows, minRowsPerWorker) chunks whose sizes differ
-// by at most one, so every chunk holds at least minRowsPerWorker rows and
-// the number of spawned goroutines never exceeds the worker count.
-func parallelRows(rows int, minRowsPerWorker int, fn func(lo, hi int)) {
-	workers := planWorkers(rows, minRowsPerWorker)
-	if workers == 1 {
-		fn(0, rows)
-		return
-	}
-	base, rem := rows/workers, rows%workers
-	var wg sync.WaitGroup
-	lo := 0
-	for w := 0; w < workers; w++ {
-		size := base
-		if w < rem {
-			size++
-		}
-		hi := lo + size
-		if w == workers-1 {
-			// Run the last chunk inline: one fewer goroutine, and the
-			// calling goroutine does useful work while the others run.
-			fn(lo, hi)
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-		lo = hi
-	}
-	wg.Wait()
-}
 
 // MatMul returns a × b.
 func MatMul(a, b *Matrix) *Matrix {
