@@ -19,6 +19,14 @@
 // consumption, and -pipeline-gate fails the run if the measured pipelined
 // speedup drops below the gate on a multi-core machine (on GOMAXPROCS=1
 // there is nothing to overlap onto, so the gate is skipped with a warning).
+//
+// ext-refill gets the same treatment: under -json its figure lands in
+// BENCH_refill.json, -refill=false forces the A/B onto the no-refill
+// escape hatch, and -refill-gate fails the run if the sweep's best
+// refill/no-refill speedup drops below the gate. Unlike the pipeline gate
+// this one is NOT skipped on single-core runners — refill's win is
+// utilization (fewer total decode steps), not parallelism, so it must hold
+// on one core too.
 package main
 
 import (
@@ -53,6 +61,8 @@ func run() error {
 	fuseDecode := flag.Bool("fusedecode", true, "decode through the fused batch-wide path (false = per-row escape hatch)")
 	pipeline := flag.Bool("pipeline", true, "serve ext-pipeline through the three-stage pipeline (false = serial escape hatch)")
 	pipelineGate := flag.Float64("pipeline-gate", 0, "fail if ext-pipeline's minimum speedup is below this (0 = off; skipped on a single-core runner)")
+	refill := flag.Bool("refill", true, "refill freed batch slots mid-flight in ext-refill (false = batch-at-a-time escape hatch)")
+	refillGate := flag.Float64("refill-gate", 0, "fail if ext-refill's best speedup across the sweep is below this (0 = off)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -85,6 +95,7 @@ func run() error {
 		Duration: *duration, Seed: *seed, Seeds: *seeds,
 		DisableFusedDecode: !*fuseDecode,
 		DisablePipeline:    !*pipeline,
+		DisableRefill:      !*refill,
 	}
 	if *list {
 		for _, r := range experiments.All(opt) {
@@ -118,17 +129,21 @@ func run() error {
 		}
 		if r.ID == "ext-pipeline" {
 			if *jsonOut {
-				f, err := os.Create("BENCH_pipeline.json")
-				if err != nil {
+				if err := writeJSONFile("BENCH_pipeline.json", fig); err != nil {
 					return err
 				}
-				if err := fig.WriteJSON(f); err != nil {
-					f.Close()
-					return err
-				}
-				f.Close()
 			}
 			if err := checkPipelineGate(fig, *pipelineGate, !*pipeline); err != nil {
+				return err
+			}
+		}
+		if r.ID == "ext-refill" {
+			if *jsonOut {
+				if err := writeJSONFile("BENCH_refill.json", fig); err != nil {
+					return err
+				}
+			}
+			if err := checkRefillGate(fig, *refillGate, !*refill); err != nil {
 				return err
 			}
 		}
@@ -145,6 +160,19 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// writeJSONFile writes one figure's JSON to a named file for CI pickup.
+func writeJSONFile(name string, fig *experiments.Figure) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := fig.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // checkPipelineGate enforces -pipeline-gate against ext-pipeline's speedup
@@ -173,5 +201,39 @@ func checkPipelineGate(fig *experiments.Figure, gate float64, disabled bool) err
 				s, fig.XLabel, fig.X[i], gate)
 		}
 	}
+	return nil
+}
+
+// checkRefillGate enforces -refill-gate against ext-refill's speedup
+// series: the CI A/B gate that continuous batching must not slow serving
+// down. The gate compares the sweep's best point — a real refill regression
+// drags every batch size down together, while a single point grazing the
+// line is shared-runner noise, not a regression. No single-core skip —
+// refill's win is finishing the same token work in fewer decode steps,
+// which holds regardless of core count.
+func checkRefillGate(fig *experiments.Figure, gate float64, disabled bool) error {
+	if gate <= 0 {
+		return nil
+	}
+	if disabled {
+		fmt.Fprintln(os.Stderr, "tcb-bench: -refill-gate skipped: refill disabled (-refill=false)")
+		return nil
+	}
+	best, bestX := 0.0, 0.0
+	for i := range fig.X {
+		s, err := fig.Get("speedup", i)
+		if err != nil {
+			return err
+		}
+		if s > best {
+			best, bestX = s, fig.X[i]
+		}
+	}
+	if best < gate {
+		return fmt.Errorf("tcb-bench: best refill/no-refill speedup %.3f (at %s=%g) below gate %.3f",
+			best, fig.XLabel, bestX, gate)
+	}
+	fmt.Fprintf(os.Stderr, "tcb-bench: refill gate ok: best speedup %.3f at %s=%g (gate %.3f)\n",
+		best, fig.XLabel, bestX, gate)
 	return nil
 }

@@ -9,6 +9,7 @@
 //	          [-scheme concat|slotted|naive] [-deadline 2s] [-dmodel 64]
 //	tcb-serve -chaos err=0.2,panic=0.05 ...   # deterministic fault injection
 //	tcb-serve -http :8080 ...                 # expose the server over HTTP
+//	tcb-serve -refill ...                     # continuous batching (mid-flight refill)
 //
 // In HTTP mode the server listens until interrupted:
 //
@@ -57,6 +58,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the final drain (0 waits forever)")
 	pipeline := flag.Bool("pipeline", false, "overlap scheduling/layout/cleanup with compute (three-stage pipeline)")
 	reserve := flag.Int("reserve", 0, "cores withheld from kernel workers for the pipeline's non-compute stages (0 = default)")
+	refill := flag.Bool("refill", false, "continuous batching: refill freed batch slots from the queue between decode steps")
 	flag.Parse()
 
 	var scheduler sched.Scheduler
@@ -96,6 +98,11 @@ func main() {
 		EncLayers: 2, DecLayers: 2, MaxLen: 512, Eps: 1e-5,
 	}
 	eng := engine.New(model.New(cfg, 42), *maxNew)
+	if *refill {
+		// Mid-flight refill runs on the fused KV-cached decode loop; outputs
+		// are token-identical to the default path (see DESIGN.md §11).
+		eng.UseCache = true
+	}
 	var runner serve.Runner = eng
 	var chaos *serve.ChaosRunner
 	if chaosCfg.Enabled() {
@@ -111,6 +118,7 @@ func main() {
 		DrainTimeout:     *drainTimeout,
 		Pipeline:         *pipeline,
 		ReserveCores:     *reserve,
+		Refill:           *refill,
 	}
 	if *batchTimeout > 0 {
 		// A fixed budget: the Config-level PredictBatch hook exists for
@@ -210,6 +218,10 @@ func main() {
 	fmt.Printf("stages (%s): schedule=%.1fms compute=%.1fms cleanup=%.1fms overruns=%d\n",
 		mode, float64(st.ScheduleNs)/1e6, float64(st.ComputeNs)/1e6,
 		float64(st.CleanupNs)/1e6, st.StageOverruns)
+	if st.Refilling {
+		fmt.Printf("refill: admitted=%d retired-early=%d occupancy=%.0f%% slot-idle-steps=%d\n",
+			st.RefillsAdmitted, st.SegmentsRetiredEarly, st.BatchOccupancyPct, st.SlotIdleSteps)
+	}
 	if chaos != nil {
 		c := chaos.Counts()
 		fmt.Printf("chaos injected: errs=%d panics=%d slows=%d lost=%d\n",

@@ -200,6 +200,22 @@ func (p Params) PredictBatchDuration(b *batch.Batch) time.Duration {
 	return time.Duration(p.BatchTime(b) * float64(time.Second))
 }
 
+// PredictAdmissionDuration predicts the extra latency one continuous-
+// batching admission of the given input length adds to a running batch: its
+// encode cost (tokens and self-attention score area) plus its share of the
+// per-segment decode-round cost. The serving layer feeds this into the
+// supervision watchdog as each admission joins a launch, so the budget
+// keeps tracking the batch's composition (Config.PredictAdmission).
+func (p Params) PredictAdmissionDuration(lenTokens int) time.Duration {
+	if lenTokens <= 0 {
+		return 0
+	}
+	tokens := float64(lenTokens)
+	encode := tokens*p.PerTokenSeconds + tokens*tokens*p.PerScoreSeconds
+	decode := p.DecodeRounds * p.PerSegmentRoundSeconds
+	return time.Duration((encode + decode) * float64(time.Second))
+}
+
 // PredictStageDurations splits PredictBatchDuration's budget across the
 // serve pipeline's three stages. The fixed launch overhead PerBatchSeconds
 // is the non-compute share of a batch: its LoadFraction part is the

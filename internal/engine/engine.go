@@ -90,6 +90,8 @@ type Report struct {
 	WholeBatch gpu.CleaningReport
 	Early      gpu.CleaningReport
 	HasEarly   bool
+	// Refill is present on refill-enabled launches (RunPreparedRefill).
+	Refill *RefillReport
 }
 
 // Run executes b. tokens maps item IDs to their input token sequences; the
@@ -320,24 +322,10 @@ func (e *Engine) runFused(p *Prepared) ([]Result, error) {
 	if len(p.rows) == 0 {
 		return nil, nil
 	}
-	decRows := make([]model.BatchDecodeRow, len(p.rows))
-	var wg sync.WaitGroup
-	for ri := range p.rows {
-		wg.Add(1)
-		go func(ri int) {
-			defer wg.Done()
-			// A fresh workspace per row goroutine: prepare-stage staging
-			// never aliases compute-stage buffers, so a pipelined prepare
-			// for batch t+1 cannot stomp batch t's encode.
-			ws := tensor.NewWorkspace()
-			defer ws.Close()
-			decRows[ri] = model.BatchDecodeRow{
-				EncOut: e.Model.EncodeRowWS(p.rowTokens[ri], p.layouts[ri], p.slots[ri], p.mode, true, ws),
-				Layout: p.layouts[ri],
-			}
-		}(ri)
-	}
-	wg.Wait()
+	// encodeRows (refill.go) uses a fresh workspace per row goroutine:
+	// prepare-stage staging never aliases compute-stage buffers, so a
+	// pipelined prepare for batch t+1 cannot stomp batch t's encode.
+	decRows := e.encodeRows(p)
 
 	gen, err := e.Model.GenerateBatchCached(decRows, p.caps)
 	if err != nil {

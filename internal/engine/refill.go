@@ -1,0 +1,341 @@
+// Continuous batching: the engine-side refill loop. RunPreparedRefill
+// decodes a prepared batch step by step like the fused path, but treats the
+// launch as a persistent execution context: the moment a segment finishes it
+// is delivered through the hook, its KV state removed from the fused decode
+// state, and its share of the device reservation shrunk (§4.2.2's early
+// memory cleaning, generalized from the post-hoc simulation into the live
+// loop). Between steps the hook is consulted for queued requests that fit
+// the freed token capacity; admitted requests are encoded, inserted into the
+// running state, and decode alongside the survivors. With a hook that never
+// admits anything, the loop performs exactly the removals the fused path's
+// skip-finished gather performs implicitly, so outputs are bitwise identical
+// to RunPrepared.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"tcb/internal/model"
+	"tcb/internal/tensor"
+	"tcb/internal/vocab"
+)
+
+// Admission is one queued request offered to a running batch: the serving
+// layer's refill hook returns these from Refill.
+type Admission struct {
+	ID     int64
+	Tokens []int
+}
+
+// RefillHook connects a running launch back to whoever owns the request
+// queue. The engine calls it from the decode loop's goroutine:
+//
+//   - Retire delivers a finished request the moment its segment is removed
+//     and its memory reclaimed — not when the batch ends.
+//   - Refill is offered the current free token capacity after each step that
+//     retired at least one segment (and is only called with free > 0); it
+//     returns the requests to admit, whose token lengths must each fit the
+//     offered capacity.
+//   - Reject returns an admission the engine could not seat (memory grow
+//     failure, over-long input) to the caller for requeueing.
+type RefillHook interface {
+	Retire(res Result)
+	Refill(freeTokens int) []Admission
+	Reject(adm Admission, err error)
+}
+
+// RefillReport summarizes one refill-enabled launch for observability.
+type RefillReport struct {
+	// Admitted counts requests admitted into the launch mid-flight.
+	Admitted int
+	// RetiredEarly counts segments delivered and memory-cleaned while other
+	// segments were still decoding (the batch-end retires are not "early").
+	RetiredEarly int
+	// Steps is the total number of decode steps the launch ran.
+	Steps int
+	// SlotIdleSteps accumulates, per step, the number of retired-but-unfilled
+	// slots — capacity the no-refill path would have wasted anyway, and the
+	// refill path wastes only when the queue offers nothing that fits.
+	SlotIdleSteps int64
+	// LiveTokenSteps and CapacityTokenSteps accumulate, per decode step, the
+	// live input tokens and the batch's token capacity; their ratio is the
+	// launch's occupancy.
+	LiveTokenSteps     int64
+	CapacityTokenSteps int64
+}
+
+// OccupancyPct returns the launch's mean batch occupancy in percent: live
+// tokens over capacity tokens, across all decode steps.
+func (r *RefillReport) OccupancyPct() float64 {
+	if r == nil || r.CapacityTokenSteps == 0 {
+		return 0
+	}
+	return 100 * float64(r.LiveTokenSteps) / float64(r.CapacityTokenSteps)
+}
+
+// shrinkReservation releases bytes from the batch's device reservation as a
+// segment retires. Errors are deliberately dropped: a watchdog-abandoned run
+// may race the server's Release, and losing a shrink on an already-freed tag
+// is harmless.
+func (p *Prepared) shrinkReservation(bytes int64) {
+	if p.memTag == "" || bytes <= 0 || p.released.Load() {
+		return
+	}
+	_ = p.eng.Mem.Resize(p.memTag, -bytes)
+}
+
+// growReservation claims bytes for an admitted request; failure means the
+// admission does not fit the device budget and must be rejected.
+func (p *Prepared) growReservation(bytes int64) error {
+	if p.memTag == "" || bytes <= 0 {
+		return nil
+	}
+	if p.released.Load() {
+		return fmt.Errorf("engine: batch reservation already released")
+	}
+	return p.eng.Mem.Resize(p.memTag, bytes)
+}
+
+// RunPreparedRefill executes a staged batch with mid-flight slot refill. A
+// nil hook degrades to RunPrepared; the refill loop itself requires the
+// fused cached decoder (the default engine configuration).
+func (e *Engine) RunPreparedRefill(p *Prepared, hook RefillHook) (*Report, error) {
+	if hook == nil {
+		return e.RunPrepared(p)
+	}
+	if e.MaxNew <= 0 || !e.UseCache || !e.FuseDecode {
+		return nil, fmt.Errorf("engine: refill requires MaxNew > 0, UseCache and FuseDecode")
+	}
+	start := time.Now()
+	results, ref, err := e.runFusedRefill(p, hook)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Elapsed: time.Since(start), Results: results, Refill: ref}
+	if !p.DeferCleaning {
+		if err := p.FinishReport(rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// liveSeg is the engine-side bookkeeping for one flat segment of a
+// refill-enabled launch; the slice of these stays index-aligned with the
+// BatchDecodeState's flat segment order across removals and insertions.
+type liveSeg struct {
+	id     int64
+	cap    int // generation cap (MaxNew clamped by OutputCap)
+	inLen  int // input tokens: the capacity it occupies and frees
+	steps  int // decode steps this segment has taken
+	next   int // token to feed on the next Step
+	output []int
+}
+
+// runFusedRefill is runFused with the greedy decode loop opened up for
+// per-step retirement and admission.
+func (e *Engine) runFusedRefill(p *Prepared, hook RefillHook) ([]Result, *RefillReport, error) {
+	ref := &RefillReport{}
+	if len(p.rows) == 0 {
+		return nil, ref, nil
+	}
+	decRows := e.encodeRows(p)
+	st := e.Model.NewBatchDecodeStateReserve(decRows, e.MaxNew)
+	defer st.Close()
+
+	segs := make([]*liveSeg, 0, st.Segments())
+	var liveTokens int64
+	for ri, row := range p.rows {
+		for i, it := range row.Items {
+			segs = append(segs, &liveSeg{
+				id: it.ID, cap: p.caps[ri][i], inLen: it.Len, next: vocab.BosID,
+			})
+			liveTokens += int64(it.Len)
+		}
+	}
+	capacityTokens := int64(p.Batch.TotalTokens())
+
+	var results []Result
+	freeTokens, freeSlots := 0, 0
+	next := make([]int, 0, len(segs))
+	var finishedIdx []int
+	step := 0
+
+	// retire removes segment i from the state and the bookkeeping, shrinks
+	// its share of the reservation, and delivers its result through the hook.
+	retire := func(i int) {
+		sg := segs[i]
+		st.RemoveSegment(i)
+		copy(segs[i:], segs[i+1:])
+		segs[len(segs)-1] = nil
+		segs = segs[:len(segs)-1]
+		liveTokens -= int64(sg.inLen)
+		freeTokens += sg.inLen
+		freeSlots++
+		p.shrinkReservation(int64(sg.inLen) * e.BytesPerToken)
+		res := Result{ID: sg.id, Output: sg.output, Steps: sg.steps}
+		results = append(results, res)
+		hook.Retire(res)
+		if len(segs) > 0 {
+			ref.RetiredEarly++
+		}
+	}
+
+	for len(segs) > 0 {
+		// Zero-cap segments (OutputCap can floor at 0) retire without a step,
+		// matching the fused path's up-front MarkFinished.
+		for i := len(segs) - 1; i >= 0; i-- {
+			if segs[i].cap <= 0 {
+				retire(i)
+			}
+		}
+		if len(segs) > 0 {
+			next = next[:0]
+			for _, sg := range segs {
+				next = append(next, sg.next)
+			}
+			logits, err := st.Step(next)
+			if err != nil {
+				return nil, nil, err
+			}
+			step++
+			ref.Steps = step
+			ref.LiveTokenSteps += liveTokens
+			ref.CapacityTokenSteps += capacityTokens
+			finishedIdx = finishedIdx[:0]
+			for i, sg := range segs {
+				row := logits[i]
+				if row == nil {
+					continue
+				}
+				sg.steps++
+				best, bestj := float32(math.Inf(-1)), 0
+				for j, v := range row {
+					if v > best {
+						best, bestj = v, j
+					}
+				}
+				if bestj == vocab.EosID {
+					finishedIdx = append(finishedIdx, i)
+					continue
+				}
+				sg.output = append(sg.output, bestj)
+				sg.next = bestj
+				if len(sg.output) >= sg.cap {
+					finishedIdx = append(finishedIdx, i)
+				}
+			}
+			// Retire highest index first so pending indices stay valid.
+			for k := len(finishedIdx) - 1; k >= 0; k-- {
+				retire(finishedIdx[k])
+			}
+		}
+		// Offer the freed capacity to the queue. Admission is allowed even
+		// when every segment just finished: the launch stays alive as long
+		// as the queue keeps feeding it.
+		if freeTokens > 0 {
+			seated := make([]Admission, 0, 4)
+			for _, adm := range hook.Refill(freeTokens) {
+				if len(adm.Tokens) == 0 || len(adm.Tokens) > freeTokens {
+					hook.Reject(adm, fmt.Errorf("engine: admission of %d tokens for %d free", len(adm.Tokens), freeTokens))
+					continue
+				}
+				if err := p.growReservation(int64(len(adm.Tokens)) * e.BytesPerToken); err != nil {
+					hook.Reject(adm, err)
+					continue
+				}
+				freeTokens -= len(adm.Tokens)
+				seated = append(seated, adm)
+			}
+			// Encode the whole offer in parallel — the admission-side mirror
+			// of the launch's row-encode fan-out — then insert in admission
+			// order so the state layout stays deterministic.
+			encOuts := e.encodeAdmissions(seated)
+			for ai, adm := range seated {
+				encOut, err := encOuts[ai], error(nil)
+				if encOut == nil {
+					err = fmt.Errorf("engine: admission of %d tokens beyond MaxLen %d", len(adm.Tokens), e.Model.P.PosEnc.Rows)
+				} else {
+					_, err = st.InsertSegment(encOut)
+				}
+				if err != nil {
+					freeTokens += len(adm.Tokens)
+					p.shrinkReservation(int64(len(adm.Tokens)) * e.BytesPerToken)
+					hook.Reject(adm, err)
+					continue
+				}
+				cap := e.MaxNew
+				if e.OutputCap != nil {
+					if c := e.OutputCap(len(adm.Tokens)); c < cap {
+						cap = c
+					}
+				}
+				if cap < 0 {
+					cap = 0
+				}
+				segs = append(segs, &liveSeg{
+					id: adm.ID, cap: cap, inLen: len(adm.Tokens), next: vocab.BosID,
+				})
+				liveTokens += int64(len(adm.Tokens))
+				if freeSlots > 0 {
+					freeSlots--
+				}
+				ref.Admitted++
+			}
+		}
+		if len(segs) > 0 {
+			ref.SlotIdleSteps += int64(freeSlots)
+		}
+	}
+	return results, ref, nil
+}
+
+// encodeRows encodes every staged row in parallel — identical to the fused
+// path's encode fan-out.
+func (e *Engine) encodeRows(p *Prepared) []model.BatchDecodeRow {
+	decRows := make([]model.BatchDecodeRow, len(p.rows))
+	var wg sync.WaitGroup
+	for ri := range p.rows {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			ws := tensor.NewWorkspace()
+			defer ws.Close()
+			decRows[ri] = model.BatchDecodeRow{
+				EncOut: e.Model.EncodeRowWS(p.rowTokens[ri], p.layouts[ri], p.slots[ri], p.mode, true, ws),
+				Layout: p.layouts[ri],
+			}
+		}(ri)
+	}
+	wg.Wait()
+	return decRows
+}
+
+// encodeAdmissions encodes each admitted request as its own single-segment,
+// pad-free row, fanning the encoder forwards out in parallel like the
+// launch-time row encode. Concatenation isolation makes each result
+// identical to what the request would see inside any batch row, so admitted
+// outputs match the no-refill run of the same request. Over-long requests
+// yield a nil entry for the caller to reject.
+func (e *Engine) encodeAdmissions(adms []Admission) []*tensor.Matrix {
+	outs := make([]*tensor.Matrix, len(adms))
+	var wg sync.WaitGroup
+	for i, adm := range adms {
+		if len(adm.Tokens) > e.Model.P.PosEnc.Rows {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, tokens []int) {
+			defer wg.Done()
+			ws := tensor.NewWorkspace()
+			defer ws.Close()
+			layout := model.SingleSegment(len(tokens), len(tokens))
+			outs[i] = e.Model.EncodeRowWS(tokens, layout, nil, model.AttDense, true, ws)
+		}(i, adm.Tokens)
+	}
+	wg.Wait()
+	return outs
+}

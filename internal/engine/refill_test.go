@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"testing"
+
+	"tcb/internal/batch"
+	"tcb/internal/gpu"
+	"tcb/internal/rng"
+)
+
+// scriptHook is a deterministic RefillHook over a pre-scripted admission
+// queue: Refill admits prefix-greedily whatever fits the offered capacity.
+type scriptHook struct {
+	queue    []Admission
+	retired  []Result
+	rejected []Admission
+	offers   int
+}
+
+func (h *scriptHook) Retire(res Result) { h.retired = append(h.retired, res) }
+
+func (h *scriptHook) Refill(free int) []Admission {
+	h.offers++
+	var out []Admission
+	for len(h.queue) > 0 && len(h.queue[0].Tokens) <= free {
+		out = append(out, h.queue[0])
+		free -= len(h.queue[0].Tokens)
+		h.queue = h.queue[1:]
+	}
+	return out
+}
+
+func (h *scriptHook) Reject(adm Admission, err error) { h.rejected = append(h.rejected, adm) }
+
+func refillEngine(t testing.TB, maxNew int) *Engine {
+	e := testEngine(t, maxNew)
+	e.UseCache = true
+	e.OutputCap = func(inputLen int) int { return inputLen }
+	return e
+}
+
+// With a hook that never admits, RunPreparedRefill must reproduce
+// RunPrepared's outputs exactly: retiring a finished segment from the state
+// is bitwise equivalent to the fused path skipping it in place.
+func TestRefillEmptyQueueMatchesRunPrepared(t *testing.T) {
+	src := rng.New(70)
+	tokens, items := makeRequests(src, 2, 7, 3, 5)
+	b, rest := batch.PackConcat(items, 2, 12)
+	if len(rest) != 0 {
+		t.Fatal("pack failed")
+	}
+
+	plain := refillEngine(t, 8)
+	p1, err := plain.Prepare(b, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.RunPrepared(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.Release()
+
+	refill := refillEngine(t, 8)
+	p2, err := refill.Prepare(b, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := &scriptHook{}
+	got, err := refill.RunPreparedRefill(p2, hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Release()
+
+	byID := map[int64]Result{}
+	for _, r := range want.Results {
+		byID[r.ID] = r
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("results: %d vs %d", len(got.Results), len(want.Results))
+	}
+	for _, r := range got.Results {
+		w := byID[r.ID]
+		if !equalInts(r.Output, w.Output) || r.Steps != w.Steps {
+			t.Fatalf("request %d: refill %v/%d vs plain %v/%d", r.ID, r.Output, r.Steps, w.Output, w.Steps)
+		}
+	}
+	if got.Refill == nil {
+		t.Fatal("refill report missing")
+	}
+	if got.Refill.Admitted != 0 {
+		t.Fatalf("admitted %d with an empty queue", got.Refill.Admitted)
+	}
+	if len(hook.retired) != len(items) {
+		t.Fatalf("retired %d of %d requests through the hook", len(hook.retired), len(items))
+	}
+}
+
+// Admitted requests must decode to exactly what they produce standalone —
+// concatenation isolation holds across mid-flight insertion — and retired
+// incumbents must be delivered through the hook before the batch ends.
+func TestRefillAdmissionsMatchSingles(t *testing.T) {
+	src := rng.New(71)
+	tokens, items := makeRequests(src, 2, 8, 2)
+	b, rest := batch.PackConcat(items, 1, 12)
+	if len(rest) != 0 {
+		t.Fatal("pack failed")
+	}
+
+	e := refillEngine(t, 10)
+	hook := &scriptHook{}
+	for i := 0; i < 4; i++ {
+		id := int64(100 + i)
+		toks := randTokens(src, 2+i%2)
+		tokens[id] = toks
+		hook.queue = append(hook.queue, Admission{ID: id, Tokens: toks})
+	}
+
+	p, err := e.Prepare(b, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.RunPreparedRefill(p, hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+
+	if rep.Refill.Admitted != 4 {
+		t.Fatalf("admitted %d of 4 scripted requests (queue left: %d)", rep.Refill.Admitted, len(hook.queue))
+	}
+	if rep.Refill.RetiredEarly == 0 {
+		t.Fatal("staggered caps must retire at least one segment early")
+	}
+	if len(rep.Results) != len(items)+4 {
+		t.Fatalf("results: %d, want %d", len(rep.Results), len(items)+4)
+	}
+	if len(hook.retired) != len(rep.Results) {
+		t.Fatalf("hook deliveries %d != results %d", len(hook.retired), len(rep.Results))
+	}
+	solo := refillEngine(t, 10)
+	for _, r := range rep.Results {
+		want, err := solo.RunSingle(r.ID+1000, tokens[r.ID])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(r.Output, want.Output) {
+			t.Fatalf("request %d: refill %v vs solo %v", r.ID, r.Output, want.Output)
+		}
+	}
+	if rep.Refill.OccupancyPct() <= 0 || rep.Refill.OccupancyPct() > 100 {
+		t.Fatalf("occupancy %.1f%% out of range", rep.Refill.OccupancyPct())
+	}
+}
+
+// The device reservation must follow the batch's composition — shrink on
+// retire, grow on admit — and come back to zero after Release, even under a
+// budget with no headroom beyond the staged batch.
+func TestRefillMemoryAccounting(t *testing.T) {
+	src := rng.New(72)
+	tokens, items := makeRequests(src, 3, 6)
+	b, rest := batch.PackConcat(items, 1, 9)
+	if len(rest) != 0 {
+		t.Fatal("pack failed")
+	}
+	e := refillEngine(t, 8)
+	e.Mem = gpu.NewMemoryManager(int64(b.TotalTokens()) * e.BytesPerToken)
+
+	hook := &scriptHook{}
+	id := int64(200)
+	tokens[id] = randTokens(src, 3)
+	hook.queue = append(hook.queue, Admission{ID: id, Tokens: tokens[id]})
+
+	p, err := e.Prepare(b, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.RunPreparedRefill(p, hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Refill.Admitted != 1 {
+		t.Fatalf("admission did not fit the freed reservation: %+v", rep.Refill)
+	}
+	p.Release()
+	if e.Mem.Used() != 0 || e.Mem.Outstanding() != 0 {
+		t.Fatalf("memory leaked: used=%d outstanding=%d", e.Mem.Used(), e.Mem.Outstanding())
+	}
+}
+
+// Oversized and empty admissions must bounce back through Reject without
+// derailing the launch.
+func TestRefillRejectsUnseatableAdmissions(t *testing.T) {
+	src := rng.New(73)
+	tokens, items := makeRequests(src, 2, 6)
+	b, rest := batch.PackConcat(items, 1, 8)
+	if len(rest) != 0 {
+		t.Fatal("pack failed")
+	}
+	e := refillEngine(t, 8)
+	// A hook that ignores the offered capacity: the engine must reject
+	// rather than overfill.
+	bad := &defiantHook{admissions: []Admission{
+		{ID: 300, Tokens: randTokens(src, 100)},
+		{ID: 301, Tokens: nil},
+	}}
+	p, err := e.Prepare(b, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.RunPreparedRefill(p, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	if rep.Refill.Admitted != 0 {
+		t.Fatalf("admitted %d unseatable requests", rep.Refill.Admitted)
+	}
+	if len(bad.rejected) != 2 {
+		t.Fatalf("rejected %d of 2 bad admissions", len(bad.rejected))
+	}
+	if len(rep.Results) != len(items) {
+		t.Fatalf("results: %d, want %d", len(rep.Results), len(items))
+	}
+}
+
+// defiantHook returns its scripted admissions on the first offer regardless
+// of the capacity the engine announced.
+type defiantHook struct {
+	admissions []Admission
+	rejected   []Admission
+}
+
+func (h *defiantHook) Retire(Result) {}
+
+func (h *defiantHook) Refill(int) []Admission {
+	out := h.admissions
+	h.admissions = nil
+	return out
+}
+
+func (h *defiantHook) Reject(adm Admission, err error) { h.rejected = append(h.rejected, adm) }
+
+// The refill loop requires the fused cached decoder; misconfiguration is an
+// error, and a nil hook degrades to the plain prepared path.
+func TestRefillRequiresFusedCache(t *testing.T) {
+	src := rng.New(74)
+	tokens, items := makeRequests(src, 3)
+	b, _ := batch.PackConcat(items, 1, 5)
+	e := testEngine(t, 3) // UseCache false
+	p, err := e.Prepare(b, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release()
+	if _, err := e.RunPreparedRefill(p, &scriptHook{}); err == nil {
+		t.Fatal("refill without UseCache must fail")
+	}
+	if _, err := e.RunPreparedRefill(p, nil); err != nil {
+		t.Fatalf("nil hook must degrade to RunPrepared: %v", err)
+	}
+}

@@ -37,6 +37,7 @@ func All(opt Options) []Runner {
 		{"ablation-early-cleaning", func() (*Figure, error) { return AblationEarlyCleaning(opt) }},
 		{"ext-fused-decode", func() (*Figure, error) { return ExtFusedDecode(opt) }},
 		{"ext-pipeline", func() (*Figure, error) { return ExtPipeline(opt) }},
+		{"ext-refill", func() (*Figure, error) { return ExtRefill(opt) }},
 		{"ablation-packing", func() (*Figure, error) { return AblationPacking() }},
 	}
 }

@@ -26,6 +26,10 @@ type Options struct {
 	// mirrors the serial series instead, for A/B isolation on machines
 	// where the overlap cannot help (e.g. single-core runners).
 	DisablePipeline bool
+	// DisableRefill is the escape hatch behind tcb-bench's -refill=false:
+	// ext-refill skips the continuous-batching runs and mirrors the
+	// no-refill series instead, for A/B isolation.
+	DisableRefill bool
 }
 
 // DefaultOptions runs each point over a 5-second trace.

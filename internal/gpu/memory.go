@@ -67,6 +67,36 @@ func (m *MemoryManager) Free(tag string) error {
 	return nil
 }
 
+// Resize adjusts the allocation under tag by delta bytes: positive grows,
+// negative shrinks. Growing fails when it would exceed capacity; shrinking
+// clamps at zero. The tag stays allocated (even at zero bytes) until Free.
+// This is the live-engine form of §4.2.2's early memory cleaning: a running
+// batch's reservation shrinks the moment a request retires mid-flight and
+// grows when a refill admission takes the freed capacity, instead of holding
+// the whole launch until the last request finishes.
+func (m *MemoryManager) Resize(tag string, delta int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.allocs[tag]
+	if !ok {
+		return fmt.Errorf("gpu: resize of unknown tag %q", tag)
+	}
+	if delta > 0 && m.capacity > 0 && m.used+delta > m.capacity {
+		return fmt.Errorf("gpu: out of memory: %d used + %d requested > %d capacity",
+			m.used, delta, m.capacity)
+	}
+	next := cur + delta
+	if next < 0 {
+		next = 0
+	}
+	m.used += next - cur
+	m.allocs[tag] = next
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+	return nil
+}
+
 // Used returns the bytes currently allocated.
 func (m *MemoryManager) Used() int64 {
 	m.mu.Lock()

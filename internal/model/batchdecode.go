@@ -62,6 +62,15 @@ type BatchDecodeState struct {
 	embIdx []int          // live row's token id (embedding gather index)
 	posIdx []int          // live row's decode position (PosEnc gather index)
 	out    [][]float32
+
+	// Continuous-batching support (refill.go): reserve is the KV rows
+	// reserved per segment (inserted segments get the same), segCap the row
+	// capacity of the shared step buffers, and ws the recycling pool that
+	// removed segments' cache buffers pass through on their way to the next
+	// InsertSegment.
+	reserve int
+	segCap  int
+	ws      *tensor.Workspace
 }
 
 // batchLayerCache holds one decoder layer's attention caches across every
@@ -84,6 +93,15 @@ type batchLayerCache struct {
 // should prefer GenerateBatchCached, which reserves only what the caps need.
 func (m *Model) NewBatchDecodeState(rows []BatchDecodeRow) *BatchDecodeState {
 	return m.newBatchDecodeState(rows, m.P.PosEnc.Rows)
+}
+
+// NewBatchDecodeStateReserve is NewBatchDecodeState with an explicit KV-cache
+// reservation per segment (clamped to [1, MaxLen]). Callers driving the state
+// step by step — the engine's refill loop — pass their generation bound so
+// every segment, including ones admitted later through InsertSegment, decodes
+// without growing its cache.
+func (m *Model) NewBatchDecodeStateReserve(rows []BatchDecodeRow, reserve int) *BatchDecodeState {
+	return m.newBatchDecodeState(rows, reserve)
 }
 
 // newBatchDecodeState is NewBatchDecodeState with an explicit KV-cache
@@ -110,6 +128,8 @@ func (m *Model) newBatchDecodeState(rows []BatchDecodeRow, reserve int) *BatchDe
 	s := &BatchDecodeState{
 		m:         m,
 		nSeg:      nSeg,
+		reserve:   reserve,
+		segCap:    nSeg,
 		rowStart:  rowStart,
 		prefixLen: make([]int, nSeg),
 		finished:  make([]bool, nSeg),

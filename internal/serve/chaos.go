@@ -171,6 +171,27 @@ func (c *ChaosRunner) RunPrepared(p *engine.Prepared) (*engine.Report, error) {
 	return rep, err
 }
 
+// RunPreparedRefill implements RefillRunner with the same per-call fault
+// schedule as Run and RunPrepared: one draw per engine invocation, acted
+// out before the engine starts. Mid-run, the hook's early deliveries are
+// real — the lose fault can only trim the final report, which the server
+// ignores for already-delivered requests.
+func (c *ChaosRunner) RunPreparedRefill(p *engine.Prepared, hook engine.RefillHook) (*engine.Report, error) {
+	d := c.draw()
+	if err := c.inject(d, p.Batch); err != nil {
+		return nil, err
+	}
+	rr, ok := c.Inner.(RefillRunner)
+	if !ok {
+		return nil, fmt.Errorf("chaos: inner runner has no refill path")
+	}
+	rep, err := rr.RunPreparedRefill(p, hook)
+	if err == nil {
+		rep = c.maybeLose(d, rep)
+	}
+	return rep, err
+}
+
 // ParseChaos parses a -chaos flag spec of comma-separated key=value pairs:
 //
 //	err=0.2,panic=0.05,slow=0.1:50ms,lose=0.02,seed=7

@@ -47,6 +47,16 @@ type PreparedRunner interface {
 	RunPrepared(p *engine.Prepared) (*engine.Report, error)
 }
 
+// RefillRunner is a PreparedRunner whose launches are persistent execution
+// contexts: RunPreparedRefill delivers finished requests through the hook
+// the moment they retire and admits queued requests into the freed capacity
+// between decode steps. *engine.Engine implements it; ChaosRunner forwards
+// it with the usual fault schedule.
+type RefillRunner interface {
+	PreparedRunner
+	RunPreparedRefill(p *engine.Prepared, hook engine.RefillHook) (*engine.Report, error)
+}
+
 // RetryPolicy bounds how failed batches are retried. A request consumes one
 // attempt per failed batch it was part of; when its attempts are exhausted
 // (or its deadline passes first) it fails with the last engine error.
@@ -134,6 +144,23 @@ type Config struct {
 	// overrun in Stats. The compute stage is covered by PredictBatch and
 	// the supervision watchdog instead.
 	PredictStages func(b *batch.Batch) (prepare, cleanup time.Duration)
+
+	// Refill enables continuous batching: a launched batch becomes a
+	// persistent execution context — finished requests are delivered and
+	// memory-cleaned the moment they retire, and queued requests whose
+	// lengths fit the freed token capacity are admitted into the running
+	// batch between decode steps (utility-ordered, backoff- and
+	// deadline-respecting, like the scheduler's own admission). Requires an
+	// Engine implementing RefillRunner; otherwise batches run the plain
+	// path unchanged. Works in both the serial loop and the pipeline.
+	// Half-open breaker probes never refill — a probe must stay minimal.
+	Refill bool
+	// PredictAdmission, when non-nil, predicts the extra wall-clock budget
+	// one refill admission of the given input length adds to the running
+	// batch's watchdog (e.g. cost.Params.PredictAdmissionDuration scaled by
+	// TimeoutSlack). Nil derives it from PredictBatch over a one-item batch,
+	// so the watchdog keeps tracking the batch's composition as it changes.
+	PredictAdmission func(lenTokens int) time.Duration
 }
 
 // Stats is a point-in-time snapshot of server counters.
@@ -167,6 +194,20 @@ type Stats struct {
 	StageOverruns int64
 	// Pipelined reports whether the three-stage pipeline is active.
 	Pipelined bool
+
+	// Continuous-batching counters (Config.Refill): RefillsAdmitted counts
+	// requests admitted into a running batch mid-flight;
+	// SegmentsRetiredEarly counts requests delivered and memory-cleaned
+	// while their batch was still decoding; SlotIdleSteps accumulates
+	// per-step retired-but-unfilled slots; BatchOccupancyPct is the mean
+	// live-token occupancy of refill-enabled launches across decode steps.
+	RefillsAdmitted      int64
+	SegmentsRetiredEarly int64
+	SlotIdleSteps        int64
+	BatchOccupancyPct    float64
+	// Refilling reports whether continuous batching is active (Config.Refill
+	// set and the engine supports the refill path).
+	Refilling bool
 }
 
 // Response is the outcome of one request.
@@ -223,6 +264,10 @@ type Server struct {
 	// preparer is cfg.Engine's prepared-batch handoff, when it has one;
 	// nil servers run every batch through the plain Run path.
 	preparer PreparedRunner
+	// refiller is cfg.Engine's refill path, set only when Config.Refill is
+	// on and the engine supports it; nil keeps every launch on the plain
+	// prepared path.
+	refiller RefillRunner
 	mu       sync.Mutex
 	queue    map[int64]*pending
 	next     int64
@@ -248,6 +293,12 @@ type Server struct {
 	// three stage goroutines update them concurrently.
 	scheduleNs, computeNs, cleanupNs atomic.Int64
 	stageOverruns                    atomic.Int64
+
+	// Continuous-batching accumulators, folded in from each launch's
+	// RefillReport; atomic because the pipeline's cleanup stage and Stats
+	// readers race.
+	refillsAdmitted, segsRetiredEarly, slotIdleSteps atomic.Int64
+	liveTokenSteps, capTokenSteps                    atomic.Int64
 }
 
 // launch is one scheduled batch moving through the serve stages: selected
@@ -258,6 +309,7 @@ type launch struct {
 	tokens   map[int64][]int
 	b        *batch.Batch
 	ep       *engine.Prepared // non-nil on the prepared handoff path
+	hook     *refillHook      // non-nil on refill-enabled launches
 }
 
 // New validates cfg and returns an unstarted server.
@@ -334,6 +386,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.runner = &SupervisedRunner{Inner: cfg.Engine, Timeout: timeout, Breaker: s.breaker}
 	s.preparer, _ = cfg.Engine.(PreparedRunner)
+	if cfg.Refill {
+		s.refiller, _ = cfg.Engine.(RefillRunner)
+	}
 	return s, nil
 }
 
@@ -463,6 +518,10 @@ func (s *Server) Stats() Stats {
 		breakerState = s.breaker.State().String()
 		trips = s.breaker.Trips()
 	}
+	var occupancy float64
+	if capTok := s.capTokenSteps.Load(); capTok > 0 {
+		occupancy = 100 * float64(s.liveTokenSteps.Load()) / float64(capTok)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
@@ -483,6 +542,12 @@ func (s *Server) Stats() Stats {
 		CleanupNs:     s.cleanupNs.Load(),
 		StageOverruns: s.stageOverruns.Load(),
 		Pipelined:     s.cfg.Pipeline,
+
+		RefillsAdmitted:      s.refillsAdmitted.Load(),
+		SegmentsRetiredEarly: s.segsRetiredEarly.Load(),
+		SlotIdleSteps:        s.slotIdleSteps.Load(),
+		BatchOccupancyPct:    occupancy,
+		Refilling:            s.refiller != nil,
 	}
 }
 
@@ -659,6 +724,12 @@ func (s *Server) selectBatch() *launch {
 			// next batch's compute.
 			l.ep.DeferCleaning = true
 		}
+		if l.ep != nil && s.refiller != nil && state != BreakerHalfOpen {
+			// The launch becomes a persistent execution context: the hook
+			// delivers retires immediately and feeds queued requests into
+			// freed slots. Probes stay minimal — no hook for them.
+			l.hook = newRefillHook(s, l.selected)
+		}
 	}
 	return l
 }
@@ -667,9 +738,12 @@ func (s *Server) selectBatch() *launch {
 func (s *Server) executeBatch(l *launch) (*engine.Report, error) {
 	var rep *engine.Report
 	var err error
-	if l.ep != nil {
+	switch {
+	case l.hook != nil:
+		rep, err = s.runner.RunPreparedRefill(l.ep, l.hook, s.admissionBudget)
+	case l.ep != nil:
 		rep, err = s.runner.RunPrepared(l.ep)
-	} else {
+	default:
 		rep, err = s.runner.Run(l.b, l.tokens)
 	}
 	s.mu.Lock()
@@ -682,6 +756,23 @@ func (s *Server) executeBatch(l *launch) (*engine.Report, error) {
 // finish the deferred memory-cleaning report and release the batch's
 // reservation.
 func (s *Server) completeBatch(l *launch, rep *engine.Report, err error, served time.Time) {
+	// Close the refill hook FIRST: from here on a watchdog-abandoned engine
+	// goroutine that is still stepping can no longer deliver, admit from the
+	// queue, or requeue — this stage owns the launch's requests now. The
+	// close returns everyone admitted mid-flight (they join the selection)
+	// and everyone already delivered by an early retire (they are done,
+	// whatever the report says).
+	selected := l.selected
+	var delivered map[int64]bool
+	if l.hook != nil {
+		var admitted []*pending
+		admitted, delivered = l.hook.close()
+		if len(admitted) > 0 {
+			selected = make([]*pending, 0, len(l.selected)+len(admitted))
+			selected = append(selected, l.selected...)
+			selected = append(selected, admitted...)
+		}
+	}
 	if err == nil && l.ep != nil && l.ep.DeferCleaning && rep != nil {
 		err = l.ep.FinishReport(rep)
 	}
@@ -690,12 +781,19 @@ func (s *Server) completeBatch(l *launch, rep *engine.Report, err error, served 
 		// a hung run without freeing anything, so a retried batch would
 		// otherwise deadlock against its own previous reservation.
 		l.ep.Release()
-		s.handleBatchFailure(l.selected, err, served)
+		s.handleBatchFailure(undelivered(selected, delivered), err, served)
 		s.mu.Lock()
 		s.inFlight--
 		s.mu.Unlock()
 		s.notify()
 		return
+	}
+	if rep != nil && rep.Refill != nil {
+		s.refillsAdmitted.Add(int64(rep.Refill.Admitted))
+		s.segsRetiredEarly.Add(int64(rep.Refill.RetiredEarly))
+		s.slotIdleSteps.Add(rep.Refill.SlotIdleSteps)
+		s.liveTokenSteps.Add(rep.Refill.LiveTokenSteps)
+		s.capTokenSteps.Add(rep.Refill.CapacityTokenSteps)
 	}
 	var results []engine.Result
 	if rep != nil {
@@ -708,7 +806,10 @@ func (s *Server) completeBatch(l *launch, rep *engine.Report, err error, served 
 	now := s.clock()
 	var okCount int64
 	s.mu.Lock()
-	for _, p := range l.selected {
+	for _, p := range selected {
+		if delivered[p.req.ID] {
+			continue // already delivered by an early retire
+		}
 		r, ok := byID[p.req.ID]
 		if !ok {
 			// The engine dropped this result. Requeue like a failed batch
@@ -725,6 +826,21 @@ func (s *Server) completeBatch(l *launch, rep *engine.Report, err error, served 
 	s.mu.Unlock()
 	l.ep.Release()
 	s.notify()
+}
+
+// undelivered filters a selection down to the requests an early retire did
+// not already answer.
+func undelivered(selected []*pending, delivered map[int64]bool) []*pending {
+	if len(delivered) == 0 {
+		return selected
+	}
+	out := make([]*pending, 0, len(selected))
+	for _, p := range selected {
+		if !delivered[p.req.ID] {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // handleBatchFailure disposes of a failed batch's requests: unexpired

@@ -199,6 +199,123 @@ func (s *SupervisedRunner) RunPrepared(p *engine.Prepared) (*engine.Report, erro
 	return s.supervise(p.Batch, func() (*engine.Report, error) { return inner.RunPrepared(p) })
 }
 
+// RunPreparedRefill executes a refill-enabled launch under supervision. The
+// watchdog budget is extendable: every admission the hook accepts adds
+// extend(adm) to the deadline, so the budget tracks the batch's composition
+// as it changes instead of killing a healthy launch for serving more work
+// than it was born with. An inner runner without the refill path degrades
+// to RunPrepared — the hook stays silent and the serve loop's completion
+// path delivers everything, exactly the no-refill behaviour.
+func (s *SupervisedRunner) RunPreparedRefill(p *engine.Prepared, hook engine.RefillHook,
+	extend func(engine.Admission) time.Duration) (*engine.Report, error) {
+	inner, ok := s.Inner.(RefillRunner)
+	if !ok {
+		return s.RunPrepared(p)
+	}
+	if s.Breaker != nil && !s.Breaker.Allow() {
+		return nil, ErrBreakerOpen
+	}
+	var budget time.Duration
+	if s.Timeout != nil {
+		budget = s.Timeout(p.Batch)
+	}
+	if budget <= 0 {
+		// No watchdog: plain panic capture plus breaker accounting.
+		return s.superviseStarted(p.Batch, nil, func() (*engine.Report, error) {
+			return inner.RunPreparedRefill(p, hook)
+		})
+	}
+	dl := &deadline{at: time.Now().Add(budget)}
+	wrapped := hook
+	if extend != nil {
+		wrapped = &extendingHook{RefillHook: hook, extend: extend, dl: dl}
+	}
+	return s.superviseStarted(p.Batch, dl, func() (*engine.Report, error) {
+		return inner.RunPreparedRefill(p, wrapped)
+	})
+}
+
+// deadline is a mutex-guarded watchdog deadline the extendingHook pushes
+// forward from the engine goroutine while the supervisor waits on it.
+type deadline struct {
+	mu sync.Mutex
+	at time.Time
+}
+
+func (d *deadline) get() time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.at
+}
+
+func (d *deadline) add(delta time.Duration) {
+	if delta <= 0 {
+		return
+	}
+	d.mu.Lock()
+	d.at = d.at.Add(delta)
+	d.mu.Unlock()
+}
+
+// extendingHook decorates a RefillHook so every accepted admission extends
+// the watchdog deadline by its predicted cost.
+type extendingHook struct {
+	engine.RefillHook
+	extend func(engine.Admission) time.Duration
+	dl     *deadline
+}
+
+func (h *extendingHook) Refill(free int) []engine.Admission {
+	adms := h.RefillHook.Refill(free)
+	for _, adm := range adms {
+		h.dl.add(h.extend(adm))
+	}
+	return adms
+}
+
+// superviseStarted runs one engine invocation under panic capture, breaker
+// accounting and an optional extendable deadline (nil disables the
+// watchdog). The run goroutine is abandoned, never killed, on timeout —
+// identical semantics to supervise, with a movable deadline instead of a
+// fixed timer.
+func (s *SupervisedRunner) superviseStarted(b *batch.Batch, dl *deadline, run func() (*engine.Report, error)) (*engine.Report, error) {
+	type outcome struct {
+		rep *engine.Report
+		err error
+	}
+	ch := make(chan outcome, 1) // buffered: an abandoned run must not leak its goroutine
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{nil, &PanicError{Value: r, Stack: debug.Stack()}}
+			}
+		}()
+		rep, err := run()
+		ch <- outcome{rep, err}
+	}()
+	if dl == nil {
+		o := <-ch
+		s.record(o.err == nil)
+		return o.rep, o.err
+	}
+	for {
+		wait := time.Until(dl.get())
+		if wait <= 0 {
+			s.record(false)
+			return nil, fmt.Errorf("%w: %d items exceeded extendable budget", ErrBatchTimeout, b.NumItems())
+		}
+		t := time.NewTimer(wait)
+		select {
+		case o := <-ch:
+			t.Stop()
+			s.record(o.err == nil)
+			return o.rep, o.err
+		case <-t.C:
+			// The deadline may have moved while we slept; loop re-checks.
+		}
+	}
+}
+
 // supervise runs one engine invocation under panic capture, the per-batch
 // watchdog and breaker accounting — the shared core of Run and RunPrepared.
 func (s *SupervisedRunner) supervise(b *batch.Batch, run func() (*engine.Report, error)) (*engine.Report, error) {
