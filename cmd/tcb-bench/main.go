@@ -63,6 +63,7 @@ func run() error {
 	pipelineGate := flag.Float64("pipeline-gate", 0, "fail if ext-pipeline's minimum speedup is below this (0 = off; skipped on a single-core runner)")
 	refill := flag.Bool("refill", true, "refill freed batch slots mid-flight in ext-refill (false = batch-at-a-time escape hatch)")
 	refillGate := flag.Float64("refill-gate", 0, "fail if ext-refill's best speedup across the sweep is below this (0 = off)")
+	clusterGate := flag.Float64("cluster-gate", 0, "fail if ext-cluster's 2-replica speedup over a single replica is below this (0 = off)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -144,6 +145,16 @@ func run() error {
 				}
 			}
 			if err := checkRefillGate(fig, *refillGate, !*refill); err != nil {
+				return err
+			}
+		}
+		if r.ID == "ext-cluster" {
+			if *jsonOut {
+				if err := writeJSONFile("BENCH_cluster.json", fig); err != nil {
+					return err
+				}
+			}
+			if err := checkClusterGate(fig, *clusterGate); err != nil {
 				return err
 			}
 		}
@@ -236,4 +247,31 @@ func checkRefillGate(fig *experiments.Figure, gate float64, disabled bool) error
 	fmt.Fprintf(os.Stderr, "tcb-bench: refill gate ok: best speedup %.3f at %s=%g (gate %.3f)\n",
 		best, fig.XLabel, bestX, gate)
 	return nil
+}
+
+// checkClusterGate enforces -cluster-gate against ext-cluster's speedup
+// series at the N=2 point: a two-replica cluster behind least-loaded
+// routing must never serve less than a single replica at a saturating
+// rate. The figure is simulated (no wall-clock noise, no core-count
+// dependence), so there is no skip condition — a miss is a real routing
+// or failover regression.
+func checkClusterGate(fig *experiments.Figure, gate float64) error {
+	if gate <= 0 {
+		return nil
+	}
+	for i := range fig.X {
+		if fig.X[i] != 2 {
+			continue
+		}
+		s, err := fig.Get("speedup", i)
+		if err != nil {
+			return err
+		}
+		if s < gate {
+			return fmt.Errorf("tcb-bench: 2-replica cluster speedup %.3f below gate %.3f", s, gate)
+		}
+		fmt.Fprintf(os.Stderr, "tcb-bench: cluster gate ok: 2-replica speedup %.3f (gate %.3f)\n", s, gate)
+		return nil
+	}
+	return fmt.Errorf("tcb-bench: ext-cluster has no replicas=2 point to gate")
 }

@@ -10,17 +10,23 @@
 //	tcb-serve -chaos err=0.2,panic=0.05 ...   # deterministic fault injection
 //	tcb-serve -http :8080 ...                 # expose the server over HTTP
 //	tcb-serve -refill ...                     # continuous batching (mid-flight refill)
+//	tcb-serve -replicas 3 -route least ...    # multi-replica cluster with failover
 //
 // In HTTP mode the server listens until interrupted:
 //
 //	POST /v1/infer {"tokens": [5,6,7], "deadline_ms": 500}
 //	GET  /v1/stats
 //	GET  /healthz
+//	GET  /v1/replicas   (cluster mode only)
 //
 // The -chaos spec wraps the engine in a seeded serve.ChaosRunner
-// (err/panic/slow/lose modes); the supervision stack must keep the process
-// alive and keep serving through every injected fault, which is exactly
-// what the CI chaos smoke run asserts.
+// (err/panic/slow/lose/killafter/wedgeafter modes); the supervision stack
+// must keep the process alive and keep serving through every injected
+// fault, which is exactly what the CI chaos smoke run asserts. With
+// -replicas N the -chaos-target flag narrows the injection to one member's
+// first engine generation — respawned replacements come up clean — so a
+// run can kill or wedge exactly one replica and prove the cluster fails
+// the traffic over without losing a request.
 package main
 
 import (
@@ -28,9 +34,11 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"tcb/internal/batch"
+	"tcb/internal/cluster"
 	"tcb/internal/engine"
 	"tcb/internal/model"
 	"tcb/internal/rng"
@@ -50,7 +58,7 @@ func main() {
 	dmodel := flag.Int("dmodel", 64, "model width")
 	maxNew := flag.Int("maxnew", 4, "generated tokens per request")
 	seed := flag.Uint64("seed", 1, "workload seed")
-	chaosSpec := flag.String("chaos", "", "fault injection spec, e.g. err=0.2,panic=0.05,slow=0.1:50ms,lose=0.02,seed=7")
+	chaosSpec := flag.String("chaos", "", "fault injection spec, e.g. err=0.2,panic=0.05,slow=0.1:50ms,lose=0.02,killafter=20,seed=7")
 	retries := flag.Int("retries", 3, "engine attempts per request (1 disables retry)")
 	breakerK := flag.Int("breaker", 5, "consecutive failures tripping the circuit breaker (<0 disables)")
 	cooldown := flag.Duration("breaker-cooldown", 250*time.Millisecond, "open-state cooldown before a half-open probe")
@@ -59,6 +67,11 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "overlap scheduling/layout/cleanup with compute (three-stage pipeline)")
 	reserve := flag.Int("reserve", 0, "cores withheld from kernel workers for the pipeline's non-compute stages (0 = default)")
 	refill := flag.Bool("refill", false, "continuous batching: refill freed batch slots from the queue between decode steps")
+	replicas := flag.Int("replicas", 1, "cluster members; >1 fronts them with health-checked routing and failover")
+	routeName := flag.String("route", "rr", "cluster routing policy: rr|least|length")
+	chaosTarget := flag.Int("chaos-target", -1, "replica index the -chaos spec applies to (-1 = every replica; cluster mode only)")
+	stallTimeout := flag.Duration("stall-timeout", time.Second, "cluster watchdog: respawn a replica with pending work but no progress for this long")
+	respawnDeadline := flag.Duration("respawn-deadline", 2*time.Second, "bound on a wedged replica's drain before it is torn down")
 	flag.Parse()
 
 	var scheduler sched.Scheduler
@@ -97,47 +110,94 @@ func main() {
 		VocabSize: 256, DModel: *dmodel, NumHeads: 4, DFF: 2 * *dmodel,
 		EncLayers: 2, DecLayers: 2, MaxLen: 512, Eps: 1e-5,
 	}
-	eng := engine.New(model.New(cfg, 42), *maxNew)
-	if *refill {
-		// Mid-flight refill runs on the fused KV-cached decode loop; outputs
-		// are token-identical to the default path (see DESIGN.md §11).
-		eng.UseCache = true
+
+	// Chaos bookkeeping shared by both modes: every runner built is kept so
+	// the final report can sum injected-fault counts.
+	var chaosMu sync.Mutex
+	var chaosRunners []*serve.ChaosRunner
+	chaosCounts := func() (serve.ChaosCounts, bool) {
+		chaosMu.Lock()
+		defer chaosMu.Unlock()
+		var total serve.ChaosCounts
+		for _, ch := range chaosRunners {
+			c := ch.Counts()
+			total.Errs += c.Errs
+			total.Panics += c.Panics
+			total.Slows += c.Slows
+			total.Lost += c.Lost
+			total.Kills += c.Kills
+			total.Wedges += c.Wedges
+		}
+		return total, len(chaosRunners) > 0
 	}
-	var runner serve.Runner = eng
-	var chaos *serve.ChaosRunner
-	if chaosCfg.Enabled() {
-		chaos = serve.NewChaosRunner(eng, chaosCfg)
-		runner = chaos
-	}
-	srvCfg := serve.Config{
-		Engine: runner, Scheduler: scheduler, Scheme: scheme,
-		B: 8, L: 100,
-		Retry:            serve.RetryPolicy{MaxAttempts: *retries},
-		BreakerThreshold: *breakerK,
-		BreakerCooldown:  *cooldown,
-		DrainTimeout:     *drainTimeout,
-		Pipeline:         *pipeline,
-		ReserveCores:     *reserve,
-		Refill:           *refill,
-	}
-	if *batchTimeout > 0 {
-		// A fixed budget: the Config-level PredictBatch hook exists for
-		// calibrated cost-model predictions; a CLI run has no calibration
-		// pass, so a flat watchdog is the honest option.
-		fixed := *batchTimeout
-		srvCfg.PredictBatch = func(*batch.Batch) time.Duration { return fixed }
-		srvCfg.TimeoutSlack = 1
-		srvCfg.MinBatchTimeout = fixed
-		if *pipeline {
-			// The non-compute stages get the same flat treatment: each is
-			// expected well inside a quarter of the batch budget; past
-			// that it counts as a stage overrun in the stats.
-			srvCfg.PredictStages = func(*batch.Batch) (time.Duration, time.Duration) {
-				return fixed / 4, fixed / 4
+
+	// newServer builds one engine + supervision stack; the cluster's Spawn
+	// calls it once per replica generation.
+	newServer := func(withChaos bool) (*serve.Server, *serve.ChaosRunner, error) {
+		eng := engine.New(model.New(cfg, 42), *maxNew)
+		if *refill {
+			// Mid-flight refill runs on the fused KV-cached decode loop;
+			// outputs are token-identical to the default path (DESIGN.md §11).
+			eng.UseCache = true
+		}
+		var runner serve.Runner = eng
+		var chaos *serve.ChaosRunner
+		if withChaos {
+			chaos = serve.NewChaosRunner(eng, chaosCfg)
+			runner = chaos
+			chaosMu.Lock()
+			chaosRunners = append(chaosRunners, chaos)
+			chaosMu.Unlock()
+		}
+		srvCfg := serve.Config{
+			Engine: runner, Scheduler: scheduler, Scheme: scheme,
+			B: 8, L: 100,
+			Retry:            serve.RetryPolicy{MaxAttempts: *retries},
+			BreakerThreshold: *breakerK,
+			BreakerCooldown:  *cooldown,
+			DrainTimeout:     *drainTimeout,
+			Pipeline:         *pipeline,
+			ReserveCores:     *reserve,
+			Refill:           *refill,
+		}
+		if *batchTimeout > 0 {
+			// A fixed budget: the Config-level PredictBatch hook exists for
+			// calibrated cost-model predictions; a CLI run has no calibration
+			// pass, so a flat watchdog is the honest option.
+			fixed := *batchTimeout
+			srvCfg.PredictBatch = func(*batch.Batch) time.Duration { return fixed }
+			srvCfg.TimeoutSlack = 1
+			srvCfg.MinBatchTimeout = fixed
+			if *pipeline {
+				// The non-compute stages get the same flat treatment: each is
+				// expected well inside a quarter of the batch budget; past
+				// that it counts as a stage overrun in the stats.
+				srvCfg.PredictStages = func(*batch.Batch) (time.Duration, time.Duration) {
+					return fixed / 4, fixed / 4
+				}
 			}
 		}
+		srv, err := serve.New(srvCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return srv, chaos, nil
 	}
-	srv, err := serve.New(srvCfg)
+
+	if *replicas > 1 {
+		runClusterMode(clusterMode{
+			replicas: *replicas, routeName: *routeName,
+			chaosEnabled: chaosCfg.Enabled(), chaosTarget: *chaosTarget,
+			chaosCounts: chaosCounts, newServer: newServer,
+			stallTimeout: *stallTimeout, respawnDeadline: *respawnDeadline,
+			n: *n, rate: *rate, deadline: *deadline, seed: *seed,
+			httpAddr: *httpAddr, vocabSize: cfg.VocabSize,
+			scheduler: scheduler, scheme: scheme,
+		})
+		return
+	}
+
+	srv, chaos, err := newServer(chaosCfg.Enabled())
 	if err != nil {
 		fail(err)
 	}
@@ -224,10 +284,173 @@ func main() {
 	}
 	if chaos != nil {
 		c := chaos.Counts()
-		fmt.Printf("chaos injected: errs=%d panics=%d slows=%d lost=%d\n",
-			c.Errs, c.Panics, c.Slows, c.Lost)
+		fmt.Printf("chaos injected: errs=%d panics=%d slows=%d lost=%d kills=%d wedges=%d\n",
+			c.Errs, c.Panics, c.Slows, c.Lost, c.Kills, c.Wedges)
 		// Under injected faults some requests legitimately fail; the pass
 		// condition is that the process survived and still served traffic.
+		if sent > 0 && ok == 0 {
+			fmt.Fprintln(os.Stderr, "chaos run served nothing")
+			os.Exit(1)
+		}
+		return
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// clusterMode carries the flag state the cluster demo needs.
+type clusterMode struct {
+	replicas        int
+	routeName       string
+	chaosEnabled    bool
+	chaosTarget     int
+	chaosCounts     func() (serve.ChaosCounts, bool)
+	newServer       func(withChaos bool) (*serve.Server, *serve.ChaosRunner, error)
+	stallTimeout    time.Duration
+	respawnDeadline time.Duration
+	n               int
+	rate            float64
+	deadline        time.Duration
+	seed            uint64
+	httpAddr        string
+	vocabSize       int
+	scheduler       sched.Scheduler
+	scheme          batch.Scheme
+}
+
+// runClusterMode fronts N replicas with the cluster router and replays the
+// demo stream through it. The exit status is the zero-lost check: every
+// accepted request must reach a terminal outcome (Delivered == Submitted),
+// and under chaos the cluster must still have served traffic.
+func runClusterMode(cm clusterMode) {
+	policy, err := cluster.ParsePolicy(cm.routeName)
+	if err != nil {
+		fail(err)
+	}
+	// Chaos targets only the first generation of the chosen replica (or of
+	// every replica with -chaos-target -1): a respawned replacement comes up
+	// clean, which is what lets the kill/wedge smoke prove recovery.
+	var genMu sync.Mutex
+	gens := make(map[int]int)
+	spawn := func(i int) (*serve.Server, func(), error) {
+		genMu.Lock()
+		gen := gens[i]
+		gens[i]++
+		genMu.Unlock()
+		withChaos := cm.chaosEnabled && gen == 0 &&
+			(cm.chaosTarget < 0 || cm.chaosTarget == i)
+		srv, chaos, err := cm.newServer(withChaos)
+		if err != nil {
+			return nil, nil, err
+		}
+		var cleanup func()
+		if chaos != nil {
+			cleanup = chaos.Close // releases wedged engine calls on teardown
+		}
+		return srv, cleanup, nil
+	}
+	c, err := cluster.New(cluster.Config{
+		Replicas: cm.replicas, Spawn: spawn, Policy: policy,
+		MaxLen:          100, // the servers' L
+		StallTimeout:    cm.stallTimeout,
+		RespawnDeadline: cm.respawnDeadline,
+	})
+	if err != nil {
+		fail(err)
+	}
+	c.Start()
+
+	if cm.httpAddr != "" {
+		fmt.Printf("serving HTTP on %s (cluster: replicas=%d route=%s scheduler=%s scheme=%s)\n",
+			cm.httpAddr, cm.replicas, policy, cm.scheduler.Name(), cm.scheme)
+		hs := &http.Server{
+			Addr:              cm.httpAddr,
+			Handler:           cluster.NewHTTPHandler(c),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+		}
+		if err := hs.ListenAndServe(); err != nil {
+			c.Stop()
+			fail(err)
+		}
+		c.Stop()
+		return
+	}
+
+	src := rng.New(cm.seed)
+	var outs []<-chan serve.Response
+	start := time.Now()
+	sent, rejected := 0, 0
+	for i := 0; i < cm.n; i++ {
+		l := src.TruncatedNormalInt(20, 4.5, 3, 100)
+		tokens := make([]int, l)
+		for j := range tokens {
+			tokens[j] = src.IntRange(vocab.FirstWordID, cm.vocabSize-1)
+		}
+		ch, err := c.Submit(tokens, cm.deadline)
+		if err != nil {
+			rejected++
+			continue
+		}
+		sent++
+		outs = append(outs, ch)
+		time.Sleep(time.Duration(src.Exp(cm.rate) * float64(time.Second)))
+	}
+
+	var lat stats.Sample
+	ok, missed, failed := 0, 0, 0
+	for _, ch := range outs {
+		resp := <-ch
+		switch {
+		case resp.Err == serve.ErrDeadlineExceeded:
+			missed++
+		case resp.Err != nil:
+			failed++
+		default:
+			ok++
+			lat.Add(resp.Served.Sub(resp.Queued).Seconds() * 1000)
+		}
+	}
+	elapsed := time.Since(start)
+	c.Drain()
+	st := c.Stats()
+
+	fmt.Printf("cluster: replicas=%d route=%s scheduler=%s scheme=%s\n",
+		cm.replicas, policy, cm.scheduler.Name(), cm.scheme)
+	fmt.Printf("sent=%d rejected=%d served=%d deadline-missed=%d failed=%d\n",
+		sent, rejected, ok, missed, failed)
+	fmt.Printf("wall=%.2fs throughput=%.1f resp/s\n", elapsed.Seconds(), float64(ok)/elapsed.Seconds())
+	if lat.N() > 0 {
+		fmt.Printf("latency ms: p50=%.1f p95=%.1f p99=%.1f\n",
+			lat.Percentile(50), lat.Percentile(95), lat.Percentile(99))
+	}
+	fmt.Printf("lifecycle: submitted=%d delivered=%d failovers=%d ejections=%d respawns=%d probe-failures=%d\n",
+		st.Submitted, st.Delivered, st.Failovers, st.Ejections, st.Respawns, st.ProbeFailures)
+	for _, rs := range st.Replicas {
+		fmt.Printf("  replica %d: state=%s respawns=%d served=%d failed=%d shed=%d breaker=%s trips=%d\n",
+			rs.Index, rs.State, rs.Respawns, rs.Stats.Served, rs.Stats.Failed,
+			rs.Stats.Shed, rs.Stats.BreakerState, rs.Stats.BreakerTrips)
+	}
+	if counts, any := cm.chaosCounts(); any {
+		fmt.Printf("chaos injected: errs=%d panics=%d slows=%d lost=%d kills=%d wedges=%d\n",
+			counts.Errs, counts.Panics, counts.Slows, counts.Lost, counts.Kills, counts.Wedges)
+	}
+
+	// The zero-lost invariant, counter-verified: every accepted request got
+	// exactly one terminal outcome.
+	if st.Delivered != st.Submitted {
+		fmt.Fprintf(os.Stderr, "LOST REQUESTS: submitted=%d delivered=%d\n", st.Submitted, st.Delivered)
+		os.Exit(1)
+	}
+	if int64(sent) != st.Submitted || sent != len(outs) {
+		fmt.Fprintf(os.Stderr, "accounting mismatch: sent=%d submitted=%d outcomes=%d\n",
+			sent, st.Submitted, len(outs))
+		os.Exit(1)
+	}
+	if cm.chaosEnabled {
+		// Under injected faults some requests legitimately fail; the pass
+		// condition is surviving and still serving.
 		if sent > 0 && ok == 0 {
 			fmt.Fprintln(os.Stderr, "chaos run served nothing")
 			os.Exit(1)

@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"time"
+)
+
+// monitor is the cluster's health loop: every ProbeInterval it runs one
+// tick of the per-replica state machine — breaker checks, stall detection,
+// synthetic probes of non-healthy replicas — until teardown.
+func (c *Cluster) monitor() {
+	defer close(c.monitorDone)
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.tick()
+		}
+	}
+}
+
+// tick runs one health round over all replicas. Probes launch after the
+// lock drops; respawns are triggered inline (the trigger itself only marks
+// and spawns a goroutine).
+func (c *Cluster) tick() {
+	now := time.Now()
+	var probes []candidate
+	c.mu.Lock()
+	for _, r := range c.replicas {
+		if r.respawning {
+			continue
+		}
+		h := r.h
+		hl := h.srv.Health()
+		st := h.srv.Stats()
+
+		// A stopped server (a Spawn failure left the old one in place, or
+		// something outside the cluster killed it) can serve nothing: eject
+		// it so probes run, fail fast, and retrigger the respawn.
+		if hl.State == "stopped" && r.state != Ejected {
+			r.state = Ejected
+			r.probeFails, r.probePasses = 0, 0
+			c.ejections.Add(1)
+		}
+
+		// Breaker open means the replica's own supervision already declared
+		// the engine down: degrade immediately, probes take it from there.
+		if hl.Breaker == "open" && r.state == Healthy {
+			r.state = Degraded
+			r.probeFails, r.probePasses = 0, 0
+		}
+
+		// Stall detection: work pending but no terminal outcome (served,
+		// missed, failed or shed) for StallTimeout means the replica is
+		// wedged in a way its own watchdog did not catch — respawn it.
+		terminal := st.Served + st.Missed + st.Failed + st.Shed
+		busy := st.Queued > 0 || st.InFlight > 0
+		if busy && terminal == r.lastTerminal && hl.State == "running" {
+			if r.stallSince.IsZero() {
+				r.stallSince = now
+			} else if now.Sub(r.stallSince) >= c.cfg.StallTimeout {
+				r.stallSince = time.Time{}
+				c.triggerRespawnLocked(r)
+				continue
+			}
+		} else {
+			r.stallSince = time.Time{}
+			r.lastTerminal = terminal
+		}
+
+		if r.state != Healthy && !r.probing {
+			r.probing = true
+			probes = append(probes, candidate{r, h})
+		}
+	}
+	c.mu.Unlock()
+	for _, p := range probes {
+		c.wg.Add(1)
+		go c.probe(p.r, p.h)
+	}
+}
+
+// probe submits one synthetic request to the replica and reports the
+// outcome to the state machine. At most one probe is in flight per replica
+// (tick's probing flag); a probe outlived by a respawn reports against the
+// old generation and is discarded.
+func (c *Cluster) probe(r *replica, h *handle) {
+	defer c.wg.Done()
+	ch, err := h.srv.Submit(c.cfg.ProbeTokens, c.cfg.ProbeDeadline)
+	ok := false
+	if err == nil {
+		select {
+		case resp := <-ch:
+			ok = resp.Err == nil
+		case <-c.stop:
+			// Teardown: the replica's failAll will answer the channel;
+			// nobody needs the verdict anymore.
+			return
+		}
+	}
+	c.onProbeResult(r, h, ok)
+}
+
+// onProbeResult advances the replica state machine on a probe verdict:
+// consecutive failures eject a degraded replica and respawn a persistently
+// ejected one; consecutive passes readmit (the cluster-level analogue of
+// the breaker's half-open probation).
+func (c *Cluster) onProbeResult(r *replica, h *handle, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.h != h {
+		return // respawned while the probe was in flight; verdict is stale
+	}
+	r.probing = false
+	if r.respawning {
+		return
+	}
+	if !ok {
+		c.probeFails_.Add(1)
+		r.probeFails++
+		r.probePasses = 0
+		switch {
+		case r.state == Degraded && r.probeFails >= c.cfg.EjectAfter:
+			r.state = Ejected
+			r.probeFails = 0
+			c.ejections.Add(1)
+		case r.state == Ejected && r.probeFails >= c.cfg.RespawnAfter:
+			c.triggerRespawnLocked(r)
+		}
+		return
+	}
+	r.probePasses++
+	r.probeFails = 0
+	breakerOpen := h.srv.Health().Breaker == "open"
+	if breakerOpen {
+		return // passing probes but the breaker re-opened: stay put
+	}
+	switch {
+	case r.state == Ejected && r.probePasses >= c.cfg.ReadmitProbes:
+		r.state = Healthy
+		r.resetWindowLocked()
+	case r.state == Degraded:
+		r.state = Healthy
+		r.resetWindowLocked()
+	}
+}
+
+// triggerRespawnLocked marks the replica respawning (the router skips it
+// from here) and hands the blocking work to a goroutine. Callers hold c.mu.
+func (c *Cluster) triggerRespawnLocked(r *replica) {
+	if r.respawning {
+		return
+	}
+	select {
+	case <-c.stop:
+		return
+	default:
+	}
+	r.respawning = true
+	r.state = Ejected
+	h := r.h
+	c.wg.Add(1)
+	go c.respawnReplica(r, h)
+}
+
+// respawnReplica is the failover sequence for a wedged or persistently
+// ejected replica: drain the old server under RespawnDeadline, tear it down
+// (cleanup releases anything a wedged engine call is blocked on), spawn a
+// fresh replacement, and re-admit it through Ejected probation — it serves
+// cluster traffic again only after ReadmitProbes consecutive probe passes.
+func (c *Cluster) respawnReplica(r *replica, old *handle) {
+	defer c.wg.Done()
+	drained := make(chan struct{})
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		old.srv.Drain()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(c.cfg.RespawnDeadline):
+	case <-c.stop:
+	}
+	// Teardown order matters: cleanup first unblocks a wedged engine call
+	// (watchdog-abandoned goroutines included), which is what lets the
+	// server loop exit and Stop return.
+	old.cleanup()
+	old.srv.Stop()
+
+	select {
+	case <-c.stop:
+		c.mu.Lock()
+		r.respawning = false
+		c.mu.Unlock()
+		return
+	default:
+	}
+	srv, cleanup, err := c.cfg.Spawn(r.idx)
+	if err != nil {
+		// Leave the stopped handle in place: ticks see "stopped", keep it
+		// ejected, and probe failures retrigger the respawn — a tick-paced
+		// retry loop until Spawn succeeds.
+		c.mu.Lock()
+		r.respawning = false
+		r.probeFails, r.probePasses = 0, 0
+		c.mu.Unlock()
+		return
+	}
+	srv.Start()
+	nh := newHandle(srv, cleanup)
+
+	c.mu.Lock()
+	select {
+	case <-c.stop:
+		// The cluster stopped while we were spawning; this generation is
+		// ours to tear down.
+		r.respawning = false
+		c.mu.Unlock()
+		srv.Stop()
+		nh.cleanup()
+		return
+	default:
+	}
+	r.h = nh
+	r.state = Ejected // probation: probes must pass before traffic returns
+	r.probing = false
+	r.probeFails, r.probePasses = 0, 0
+	r.resetWindowLocked()
+	r.lastTerminal = 0
+	r.stallSince = time.Time{}
+	r.respawns++
+	r.respawning = false
+	c.mu.Unlock()
+	c.respawns.Add(1)
+}

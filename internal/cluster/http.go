@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"tcb/internal/serve"
+)
+
+// NewHTTPHandler exposes a cluster over HTTP with the same surface as a
+// single server's handler, plus per-replica introspection:
+//
+//	POST /v1/infer    — submit one request, blocks until the response;
+//	                    routed, health-tiered and failed over transparently
+//	GET  /v1/stats    — aggregated cluster counters (cluster.Stats)
+//	GET  /v1/replicas — per-replica rows: state, health, server counters
+//	GET  /healthz     — 200 while at least one replica is fully
+//	                    serviceable; 503 with per-replica breaker and
+//	                    ejection detail otherwise
+//
+// The handler does not own the cluster's lifecycle (call Start/Stop
+// yourself).
+func NewHTTPHandler(c *Cluster) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, serve.MaxInferBody)
+		var req serve.InferRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", tooBig.Limit))
+				return
+			}
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+			return
+		}
+		if req.DeadlineMS <= 0 {
+			req.DeadlineMS = 1000
+		}
+		ch, err := c.Submit(req.Tokens, time.Duration(req.DeadlineMS)*time.Millisecond)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, serve.ErrQueueFull) {
+				status = http.StatusTooManyRequests
+			} else if errors.Is(err, serve.ErrBreakerOpen) || errors.Is(err, serve.ErrServerClosed) || errors.Is(err, ErrNoReplicas) {
+				status = http.StatusServiceUnavailable
+			}
+			writeErr(w, status, err)
+			return
+		}
+		select {
+		case resp := <-ch:
+			switch {
+			case errors.Is(resp.Err, serve.ErrDeadlineExceeded):
+				writeErr(w, http.StatusGatewayTimeout, resp.Err)
+			case errors.Is(resp.Err, serve.ErrBreakerOpen):
+				writeErr(w, http.StatusServiceUnavailable, resp.Err)
+			case resp.Err != nil:
+				writeErr(w, http.StatusInternalServerError, resp.Err)
+			default:
+				writeJSON(w, http.StatusOK, serve.InferResponse{
+					Output:    append([]int{}, resp.Output...),
+					LatencyMS: resp.Served.Sub(resp.Queued).Seconds() * 1000,
+				})
+			}
+		case <-r.Context().Done():
+			writeErr(w, http.StatusRequestTimeout, r.Context().Err())
+		}
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		writeJSON(w, http.StatusOK, c.Stats())
+	})
+	mux.HandleFunc("/v1/replicas", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		writeJSON(w, http.StatusOK, c.Stats().Replicas)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := c.Health()
+		status := http.StatusOK
+		if !h.Serviceable {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, h)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tcb/internal/serve"
+)
+
+func httpCluster(t *testing.T) (*Cluster, *httptest.Server) {
+	t.Helper()
+	c, err := New(Config{Replicas: 2, Spawn: echoSpawn(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHTTPHandler(c))
+	t.Cleanup(func() {
+		ts.Close()
+		c.Stop()
+	})
+	return c, ts
+}
+
+func TestHTTPClusterInfer(t *testing.T) {
+	_, ts := httpCluster(t)
+	body, _ := json.Marshal(serve.InferRequest{Tokens: tokens(5), DeadlineMS: 5000})
+	resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out serve.InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Output) == 0 || out.LatencyMS < 0 {
+		t.Fatalf("response = %+v", out)
+	}
+}
+
+func TestHTTPClusterStatsAndReplicas(t *testing.T) {
+	c, ts := httpCluster(t)
+	ch, err := c.Submit(tokens(4), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ch
+
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Submitted != 1 || st.Delivered != 1 || len(st.Replicas) != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	r2, err := http.Get(ts.URL + "/v1/replicas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var rows []ReplicaStats
+	if err := json.NewDecoder(r2.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].State != "healthy" || rows[1].State != "healthy" {
+		t.Fatalf("replica rows = %+v", rows)
+	}
+}
+
+// TestHTTPClusterHealthz pins the balancer contract: 200 with detail while
+// a replica is serviceable, 503 with the same per-replica body after
+// teardown.
+func TestHTTPClusterHealthz(t *testing.T) {
+	c, ts := httpCluster(t)
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.NewDecoder(r.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || !h.Serviceable || h.Healthy != 2 {
+		t.Fatalf("healthz status %d body %+v", r.StatusCode, h)
+	}
+
+	c.Stop()
+	r2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var h2 Health
+	if err := json.NewDecoder(r2.Body).Decode(&h2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusServiceUnavailable || h2.Serviceable {
+		t.Fatalf("healthz after stop: status %d body %+v", r2.StatusCode, h2)
+	}
+	if len(h2.Replicas) != 2 || h2.Replicas[0].Health.State != "stopped" {
+		t.Fatalf("503 body must carry per-replica detail: %+v", h2)
+	}
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Policy selects how the router orders replicas for a submission. Whatever
+// the policy, routing is tiered by health first: healthy replicas are
+// preferred, then degraded ones, and ejected-but-alive replicas are the
+// last resort (so an all-ejected cluster still degrades gracefully to the
+// replicas' own breaker-open shedding instead of refusing outright). The
+// policy orders replicas within each tier.
+type Policy int
+
+const (
+	// RoundRobin rotates submissions across the preferred tier.
+	RoundRobin Policy = iota
+	// LeastLoaded picks the replica with the smallest outstanding
+	// queued-cost (tokens accepted but not yet answered).
+	LeastLoaded
+	// LengthAffinity maps request length to a replica, so each replica sees
+	// a narrow length band and its batches concatenate with less padding
+	// spread (short requests to low indices, long to high).
+	LengthAffinity
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	case LengthAffinity:
+		return "length-affinity"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses a -route flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "rr", "round-robin", "roundrobin":
+		return RoundRobin, nil
+	case "least", "least-loaded", "leastloaded":
+		return LeastLoaded, nil
+	case "length", "affinity", "length-affinity":
+		return LengthAffinity, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown routing policy %q (want rr|least|length)", s)
+	}
+}
+
+// candidate pairs a replica with the server generation routing saw, so a
+// concurrent respawn cannot swap the server out from under a submission's
+// cost accounting.
+type candidate struct {
+	r *replica
+	h *handle
+}
+
+// order returns the replicas a submission of n tokens should try, in order:
+// tiered by health state, policy-ordered within each tier. Respawning
+// replicas are excluded — their old server is draining and would only burn
+// a failover attempt.
+func (c *Cluster) order(n int) []candidate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var tiers [3][]candidate
+	for _, r := range c.replicas {
+		if r.respawning {
+			continue
+		}
+		tiers[r.state] = append(tiers[r.state], candidate{r, r.h})
+	}
+	rr := int(c.rr.Add(1) - 1)
+	out := make([]candidate, 0, len(c.replicas))
+	for _, tier := range tiers {
+		c.policyOrder(tier, n, rr)
+		out = append(out, tier...)
+	}
+	return out
+}
+
+// policyOrder orders one health tier in place under the configured policy.
+// Tiers arrive in replica-index order (the iteration order of c.replicas).
+func (c *Cluster) policyOrder(tier []candidate, n, rr int) {
+	if len(tier) < 2 {
+		return
+	}
+	switch c.cfg.Policy {
+	case LeastLoaded:
+		sort.SliceStable(tier, func(i, j int) bool {
+			return tier[i].h.cost.Load() < tier[j].h.cost.Load()
+		})
+	case LengthAffinity:
+		// Bucket by length: replica k of the tier owns lengths in
+		// (k·MaxLen/N, (k+1)·MaxLen/N]; fall outward by distance from the
+		// owning bucket so failover stays as close to the band as possible.
+		pref := n * len(tier) / (c.cfg.MaxLen + 1)
+		if pref >= len(tier) {
+			pref = len(tier) - 1
+		}
+		pos := make(map[*replica]int, len(tier))
+		for i, cand := range tier {
+			pos[cand.r] = i
+		}
+		sort.SliceStable(tier, func(i, j int) bool {
+			di, dj := abs(pos[tier[i].r]-pref), abs(pos[tier[j].r]-pref)
+			if di != dj {
+				return di < dj
+			}
+			return pos[tier[i].r] < pos[tier[j].r]
+		})
+	default: // RoundRobin
+		start := rr % len(tier)
+		rot := make([]candidate, 0, len(tier))
+		rot = append(rot, tier[start:]...)
+		rot = append(rot, tier[:start]...)
+		copy(tier, rot)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -38,6 +38,7 @@ func All(opt Options) []Runner {
 		{"ext-fused-decode", func() (*Figure, error) { return ExtFusedDecode(opt) }},
 		{"ext-pipeline", func() (*Figure, error) { return ExtPipeline(opt) }},
 		{"ext-refill", func() (*Figure, error) { return ExtRefill(opt) }},
+		{"ext-cluster", func() (*Figure, error) { return ExtCluster(opt) }},
 		{"ablation-packing", func() (*Figure, error) { return AblationPacking() }},
 	}
 }

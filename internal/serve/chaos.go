@@ -26,13 +26,22 @@ type ChaosRunner struct {
 	Inner Runner
 	cfg   ChaosConfig
 
-	mu   sync.Mutex
-	src  *rng.Source
+	mu       sync.Mutex
+	src      *rng.Source
+	calls    int64
 	injected ChaosCounts
+	// stop releases wedged calls on Close so a torn-down replica's
+	// abandoned engine goroutines can exit instead of leaking.
+	stop      chan struct{}
+	closeOnce sync.Once
 }
 
-// ChaosConfig selects fault rates for a ChaosRunner. Rates are independent
+// ChaosConfig selects fault modes for a ChaosRunner. Rates are independent
 // probabilities per Run call, checked in the order: slow, panic, err, lose.
+// KillAfter and WedgeAfter are deterministic call-count triggers (they draw
+// no randomness, so adding them never shifts an existing seed's schedule):
+// they model a whole replica dying or hanging, the faults the cluster layer
+// routes around with ejection and drain/respawn.
 type ChaosConfig struct {
 	ErrRate   float64 // return an injected error instead of running
 	PanicRate float64 // panic instead of running
@@ -40,27 +49,52 @@ type ChaosConfig struct {
 	LoseRate  float64 // run, then drop one request's result from the report
 	SlowDelay time.Duration
 	Seed      uint64
+
+	// KillAfter, when positive, hard-kills the engine after that many
+	// calls: every later call fails immediately with ErrChaosKilled. The
+	// replica is crashed, not slow — its breaker opens, health probes fail,
+	// and the cluster must eject it.
+	KillAfter int
+	// WedgeAfter, when positive, wedges the engine after that many calls:
+	// every later call blocks until Close. The replica is hung — the
+	// supervision watchdog (and the cluster's stall detector) territory.
+	WedgeAfter int
 }
 
-// Enabled reports whether any fault mode has a positive rate.
+// Enabled reports whether any fault mode is active.
 func (c ChaosConfig) Enabled() bool {
-	return c.ErrRate > 0 || c.PanicRate > 0 || c.SlowRate > 0 || c.LoseRate > 0
+	return c.ErrRate > 0 || c.PanicRate > 0 || c.SlowRate > 0 || c.LoseRate > 0 ||
+		c.KillAfter > 0 || c.WedgeAfter > 0
 }
 
 // ChaosCounts tallies injected faults.
 type ChaosCounts struct {
 	Errs, Panics, Slows, Lost int64
+	Kills, Wedges             int64
 }
 
 // ErrChaos is the root of every injected engine error.
 var ErrChaos = errors.New("chaos: injected engine error")
+
+// ErrChaosKilled marks calls refused because the injector's KillAfter
+// trigger fired: the simulated replica is dead until it is respawned with a
+// fresh runner.
+var ErrChaosKilled = fmt.Errorf("%w: engine killed", ErrChaos)
 
 // NewChaosRunner wraps inner with deterministic fault injection.
 func NewChaosRunner(inner Runner, cfg ChaosConfig) *ChaosRunner {
 	if cfg.SlowDelay <= 0 {
 		cfg.SlowDelay = 10 * time.Millisecond
 	}
-	return &ChaosRunner{Inner: inner, cfg: cfg, src: rng.New(cfg.Seed)}
+	return &ChaosRunner{Inner: inner, cfg: cfg, src: rng.New(cfg.Seed), stop: make(chan struct{})}
+}
+
+// Close releases every wedged call (it returns ErrChaos) and disarms the
+// wedge for later calls. A cluster respawning a wedged replica calls it
+// during teardown so the watchdog-abandoned engine goroutines can exit
+// instead of leaking. Safe to call more than once.
+func (c *ChaosRunner) Close() {
+	c.closeOnce.Do(func() { close(c.stop) })
 }
 
 // Counts returns the faults injected so far.
@@ -75,17 +109,31 @@ func (c *ChaosRunner) Counts() ChaosCounts {
 // prepared execution paths alike.
 type chaosDraw struct {
 	slow, pan, fail, lose bool
+	kill, wedge           bool
 }
 
 func (c *ChaosRunner) draw() chaosDraw {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	d := chaosDraw{
-		slow: c.src.Float64() < c.cfg.SlowRate,
-		pan:  c.src.Float64() < c.cfg.PanicRate,
-		fail: c.src.Float64() < c.cfg.ErrRate,
-		lose: c.src.Float64() < c.cfg.LoseRate,
+	c.calls++
+	var d chaosDraw
+	// Count-based triggers first, and without touching the rng stream, so
+	// killafter/wedgeafter compose with rate modes under the same seed
+	// without shifting their schedule. Wedge outranks kill.
+	if c.cfg.WedgeAfter > 0 && c.calls > int64(c.cfg.WedgeAfter) {
+		d.wedge = true
+		c.injected.Wedges++
+		return d
 	}
+	if c.cfg.KillAfter > 0 && c.calls > int64(c.cfg.KillAfter) {
+		d.kill = true
+		c.injected.Kills++
+		return d
+	}
+	d.slow = c.src.Float64() < c.cfg.SlowRate
+	d.pan = c.src.Float64() < c.cfg.PanicRate
+	d.fail = c.src.Float64() < c.cfg.ErrRate
+	d.lose = c.src.Float64() < c.cfg.LoseRate
 	if d.slow {
 		c.injected.Slows++
 	}
@@ -97,9 +145,19 @@ func (c *ChaosRunner) draw() chaosDraw {
 	return d
 }
 
-// inject acts out the pre-run part of a draw: sleep, panic or error. It
-// runs outside the lock — a slow run must not serialize later calls.
+// inject acts out the pre-run part of a draw: wedge, kill, sleep, panic or
+// error. It runs outside the lock — a slow or wedged run must not serialize
+// later calls.
 func (c *ChaosRunner) inject(d chaosDraw, b *batch.Batch) error {
+	if d.wedge {
+		// Hang like a stuck kernel: the supervision watchdog abandons the
+		// call, and Close (replica teardown) is what finally releases it.
+		<-c.stop
+		return fmt.Errorf("%w: wedged engine released by teardown", ErrChaos)
+	}
+	if d.kill {
+		return fmt.Errorf("%w (batch of %d items)", ErrChaosKilled, b.NumItems())
+	}
 	if d.slow {
 		time.Sleep(c.cfg.SlowDelay)
 	}
@@ -195,9 +253,12 @@ func (c *ChaosRunner) RunPreparedRefill(p *engine.Prepared, hook engine.RefillHo
 // ParseChaos parses a -chaos flag spec of comma-separated key=value pairs:
 //
 //	err=0.2,panic=0.05,slow=0.1:50ms,lose=0.02,seed=7
+//	killafter=20          — engine dies after 20 calls
+//	wedgeafter=20         — engine hangs after 20 calls (until teardown)
 //
-// Rates are probabilities in [0,1]; slow takes an optional :delay suffix.
-// The empty spec parses to a disabled config.
+// Rates are probabilities in [0,1]; slow takes an optional :delay suffix;
+// killafter/wedgeafter are positive call counts. The empty spec parses to a
+// disabled config.
 func ParseChaos(spec string) (ChaosConfig, error) {
 	var cfg ChaosConfig
 	if strings.TrimSpace(spec) == "" {
@@ -235,6 +296,16 @@ func ParseChaos(spec string) (ChaosConfig, error) {
 					return cfg, fmt.Errorf("chaos: bad slow delay %q", delayStr)
 				}
 				cfg.SlowDelay = d
+			}
+		case "killafter", "wedgeafter":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return cfg, fmt.Errorf("chaos: %s wants a positive call count, got %q", key, val)
+			}
+			if key == "killafter" {
+				cfg.KillAfter = n
+			} else {
+				cfg.WedgeAfter = n
 			}
 		case "seed":
 			seed, err := strconv.ParseUint(val, 10, 64)

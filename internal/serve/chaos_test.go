@@ -24,6 +24,13 @@ func TestParseChaos(t *testing.T) {
 	if cfg != want {
 		t.Fatalf("parsed %+v, want %+v", cfg, want)
 	}
+	cfg, err = ParseChaos("killafter=20,wedgeafter=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.KillAfter != 20 || cfg.WedgeAfter != 30 || !cfg.Enabled() {
+		t.Fatalf("parsed %+v, want killafter=20 wedgeafter=30 enabled", cfg)
+	}
 	if empty, err := ParseChaos("  "); err != nil || empty.Enabled() {
 		t.Fatalf("empty spec: cfg=%+v err=%v", empty, err)
 	}
@@ -35,6 +42,8 @@ func TestParseChaos(t *testing.T) {
 		"slow=0.1:x",  // unparseable delay
 		"seed=abc",    // bad seed
 		"flood=0.5",   // unknown mode
+		"killafter=0", // non-positive count
+		"wedgeafter=x",
 	} {
 		if _, err := ParseChaos(bad); err == nil {
 			t.Errorf("spec %q must fail to parse", bad)
@@ -89,6 +98,66 @@ func TestChaosDeterminism(t *testing.T) {
 		if !modes[want] {
 			t.Fatalf("60 draws at these rates never produced %q: %v", want, a)
 		}
+	}
+}
+
+// TestChaosKillAfter pins the replica-death trigger: the first N calls run
+// clean (no random modes armed), every later call fails with ErrChaosKilled,
+// and the count-based trigger reports via Counts.
+func TestChaosKillAfter(t *testing.T) {
+	c := NewChaosRunner(&scriptRunner{}, ChaosConfig{KillAfter: 3})
+	b := &batch.Batch{Scheme: batch.Concat, Rows: []batch.Row{
+		{Items: []batch.Item{{ID: 1, Len: 2}}, PadTo: 8},
+	}}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Run(b, nil); err != nil {
+			t.Fatalf("call %d before the trigger failed: %v", i+1, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		_, err := c.Run(b, nil)
+		if !errors.Is(err, ErrChaosKilled) {
+			t.Fatalf("call after kill trigger: err = %v, want ErrChaosKilled", err)
+		}
+	}
+	if got := c.Counts().Kills; got != 4 {
+		t.Fatalf("kills = %d, want 4", got)
+	}
+}
+
+// TestChaosWedgeAfterClose pins the hung-replica trigger: calls past the
+// threshold block until Close releases them with an ErrChaos-wrapped error —
+// the teardown path a cluster uses to unwedge abandoned engine goroutines.
+func TestChaosWedgeAfterClose(t *testing.T) {
+	c := NewChaosRunner(&scriptRunner{}, ChaosConfig{WedgeAfter: 1})
+	b := &batch.Batch{Scheme: batch.Concat, Rows: []batch.Row{
+		{Items: []batch.Item{{ID: 1, Len: 2}}, PadTo: 8},
+	}}
+	if _, err := c.Run(b, nil); err != nil {
+		t.Fatalf("call before the trigger failed: %v", err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Run(b, nil)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("wedged call returned before Close: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	c.Close()
+	c.Close() // idempotent
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrChaos) {
+			t.Fatalf("released wedge err = %v, want ErrChaos", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release the wedged call")
+	}
+	if got := c.Counts().Wedges; got != 1 {
+		t.Fatalf("wedges = %d, want 1", got)
 	}
 }
 

@@ -37,7 +37,11 @@ const MaxInferBody = 1 << 20
 //
 //	POST /v1/infer  — submit one request, blocks until the response
 //	GET  /v1/stats  — server counters (serve.Stats)
-//	GET  /healthz   — liveness
+//	GET  /healthz   — serviceability probe: 200 with the Health JSON while
+//	                  traffic is being accepted, 503 with the same body
+//	                  (breaker state, queue depth) when it is not — so an
+//	                  external load balancer can rotate the process out
+//	                  while its breaker is open or it is draining
 //
 // The handler is a thin, dependency-free front; it does not own the
 // server's lifecycle (call srv.Start/Stop yourself).
@@ -105,8 +109,12 @@ func NewHTTPHandler(srv *Server) http.Handler {
 		writeJSON(w, http.StatusOK, srv.Stats())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ok"))
+		h := srv.Health()
+		status := http.StatusOK
+		if !h.Serviceable {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, h)
 	})
 	return mux
 }

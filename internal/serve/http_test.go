@@ -117,10 +117,87 @@ func TestHTTPStatsAndHealth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h.Body.Close()
+	defer h.Body.Close()
 	if h.StatusCode != http.StatusOK {
 		t.Fatalf("health status %d", h.StatusCode)
 	}
+	var hb Health
+	if err := json.NewDecoder(h.Body).Decode(&hb); err != nil {
+		t.Fatal(err)
+	}
+	if !hb.Serviceable || hb.State != "running" {
+		t.Fatalf("healthz body = %+v", hb)
+	}
+}
+
+// TestHTTPHealthzUnserviceable pins the 503 contract: a server whose
+// breaker is open (and later one that is stopped) reports unserviceable
+// with the breaker detail an external load balancer needs.
+func TestHTTPHealthzUnserviceable(t *testing.T) {
+	srv, err := New(Config{
+		Engine:           failingRunner{},
+		Scheduler:        sched.FCFS{},
+		Scheme:           batch.Concat,
+		B:                1,
+		L:                32,
+		Poll:             time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour,
+		Retry:            RetryPolicy{MaxAttempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHTTPHandler(srv))
+	defer ts.Close()
+	srv.Start()
+
+	// One failed batch trips the K=1 breaker open.
+	ch, err := srv.Submit([]int{1, 2, 3}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ch
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.BreakerState() != BreakerOpen && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hb Health
+	if err := json.NewDecoder(r.Body).Decode(&hb); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("breaker-open healthz status %d, want 503 (%+v)", r.StatusCode, hb)
+	}
+	if hb.Serviceable || hb.Breaker != "open" {
+		t.Fatalf("breaker-open healthz body = %+v", hb)
+	}
+
+	srv.Stop()
+	r, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&hb); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable || hb.State != "stopped" {
+		t.Fatalf("stopped healthz = %d %+v", r.StatusCode, hb)
+	}
+}
+
+// failingRunner fails every batch.
+type failingRunner struct{}
+
+func (failingRunner) Run(*batch.Batch, map[int64][]int) (*engine.Report, error) {
+	return nil, errors.New("down")
 }
 
 // flakyRunner fails the first n batch launches, then delegates.

@@ -170,6 +170,7 @@ type Stats struct {
 	Missed    int64 // deadline expiries in the queue
 	Failed    int64 // engine or internal errors (after retries)
 	Queued    int   // requests currently waiting
+	InFlight  int   // batches between selection and completion
 	Batches   int64 // engine launches (probes included)
 
 	Retried      int64  // requeues of requests from failed batches
@@ -274,6 +275,11 @@ type Server struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
+	// drainOnce/drainDone make Drain idempotent: the first caller runs the
+	// drain sequence, every later or concurrent caller waits on the same
+	// completion (and the same DrainTimeout deadline).
+	drainOnce sync.Once
+	drainDone chan struct{}
 	// wake is a capacity-1 edge trigger: Submit (and batch completion, for
 	// Drain) signal it so the loop reacts immediately instead of sleeping
 	// out the Poll interval. Poll remains only as a deadline-expiry
@@ -364,12 +370,13 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	s := &Server{
-		cfg:   cfg,
-		queue: make(map[int64]*pending),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
-		wake:  make(chan struct{}, 1),
-		base:  time.Now(),
+		cfg:       cfg,
+		queue:     make(map[int64]*pending),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		drainDone: make(chan struct{}),
+		wake:      make(chan struct{}, 1),
+		base:      time.Now(),
 	}
 	if cfg.BreakerThreshold > 0 {
 		s.breaker = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
@@ -418,10 +425,26 @@ func (s *Server) signalStop() {
 // configured, a queue that does not empty in time — a wedged engine, an
 // open breaker — is failed with ErrServerClosed and Drain returns without
 // waiting for an in-flight batch that may never come back.
+//
+// Drain is idempotent and safe to call concurrently: the first caller runs
+// the drain sequence; every later caller (including callers racing the
+// first) waits on the same completion — and the same DrainTimeout deadline,
+// started by the first call — instead of racing the shutdown.
 func (s *Server) Drain() {
-	s.mu.Lock()
-	s.draining = true
-	s.mu.Unlock()
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		go func() {
+			defer close(s.drainDone)
+			s.drainLoop()
+		}()
+	})
+	<-s.drainDone
+}
+
+// drainLoop is the single drain execution behind Drain's once-gate.
+func (s *Server) drainLoop() {
 	var deadline <-chan time.Time
 	if s.cfg.DrainTimeout > 0 {
 		t := time.NewTimer(s.cfg.DrainTimeout)
@@ -443,6 +466,14 @@ func (s *Server) Drain() {
 		select {
 		case <-s.wake:
 		case <-time.After(s.cfg.Poll):
+		case <-s.done:
+			// Stopped out from under the drain (a concurrent Stop, or a
+			// supervisor tearing the server down): the loop's exit failAll
+			// already answered the queue; sweep anything that slipped in
+			// between and finish without waiting for in-flight work that
+			// can no longer complete.
+			s.failAll(ErrServerClosed)
+			return
 		case <-deadline:
 			s.failAll(ErrServerClosed)
 			s.signalStop()
@@ -530,6 +561,7 @@ func (s *Server) Stats() Stats {
 		Missed:        s.missed,
 		Failed:        s.failed,
 		Queued:        len(s.queue),
+		InFlight:      s.inFlight,
 		Batches:       s.batches,
 		Retried:       s.retried,
 		Panics:        s.panics,
@@ -549,6 +581,44 @@ func (s *Server) Stats() Stats {
 		BatchOccupancyPct:    occupancy,
 		Refilling:            s.refiller != nil,
 	}
+}
+
+// Health is a point-in-time serviceability summary — the body behind
+// GET /healthz and the per-replica rows of a cluster's /v1/replicas.
+type Health struct {
+	// Serviceable reports whether a submission right now would be accepted
+	// and fed to a live engine: the server is running (not draining or
+	// stopped) and the circuit breaker is not open.
+	Serviceable bool   `json:"serviceable"`
+	State       string `json:"state"`   // "running", "draining" or "stopped"
+	Breaker     string `json:"breaker"` // "closed", "open", "half-open" or "disabled"
+	Queued      int    `json:"queued"`
+	InFlight    int    `json:"in_flight"`
+}
+
+// Health returns the server's current serviceability. External load
+// balancers (and the cluster layer's health monitor) use it to decide
+// whether to route traffic here.
+func (s *Server) Health() Health {
+	h := Health{State: "running", Breaker: "disabled"}
+	if s.breaker != nil {
+		h.Breaker = s.breaker.State().String()
+	}
+	s.mu.Lock()
+	h.Queued = len(s.queue)
+	h.InFlight = s.inFlight
+	draining := s.draining
+	s.mu.Unlock()
+	select {
+	case <-s.stop:
+		h.State = "stopped"
+	default:
+		if draining {
+			h.State = "draining"
+		}
+	}
+	h.Serviceable = h.State == "running" && h.Breaker != "open"
+	return h
 }
 
 // BreakerState returns the circuit breaker's current state
