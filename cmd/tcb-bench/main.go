@@ -27,6 +27,14 @@
 // this one is NOT skipped on single-core runners — refill's win is
 // utilization (fewer total decode steps), not parallelism, so it must hold
 // on one core too.
+//
+// -kernel selects the float32 GEMM kernel (wide default, scalar reference;
+// int8 selects wide and implies -quantize), and -quantize routes every
+// real-engine experiment's projections through the int8 per-channel
+// quantized GEMM. ext-quantized ignores both — it always measures float32
+// vs int8 paired — writes BENCH_quantized.json under -json, and
+// -quantized-gate fails the run if its best int8/float32 speedup drops
+// below the gate (also enforced single-core: the int8 win is per-core).
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"runtime/pprof"
 
 	"tcb/internal/experiments"
+	"tcb/internal/tensor"
 )
 
 func main() {
@@ -64,7 +73,19 @@ func run() error {
 	refill := flag.Bool("refill", true, "refill freed batch slots mid-flight in ext-refill (false = batch-at-a-time escape hatch)")
 	refillGate := flag.Float64("refill-gate", 0, "fail if ext-refill's best speedup across the sweep is below this (0 = off)")
 	clusterGate := flag.Float64("cluster-gate", 0, "fail if ext-cluster's 2-replica speedup over a single replica is below this (0 = off)")
+	kernel := flag.String("kernel", "wide", "float32 GEMM kernel: scalar, wide, or int8 (wide float32 + quantized projections)")
+	quantize := flag.Bool("quantize", false, "route real-engine experiments' projections through the int8 quantized GEMM")
+	quantizedGate := flag.Float64("quantized-gate", 0, "fail if ext-quantized's best int8/float32 speedup across the sweep is below this (0 = off)")
 	flag.Parse()
+
+	k, err := tensor.ParseKernel(*kernel)
+	if err != nil {
+		return err
+	}
+	tensor.SetKernel(k)
+	if *kernel == "int8" {
+		*quantize = true
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -97,6 +118,7 @@ func run() error {
 		DisableFusedDecode: !*fuseDecode,
 		DisablePipeline:    !*pipeline,
 		DisableRefill:      !*refill,
+		Quantize:           *quantize,
 	}
 	if *list {
 		for _, r := range experiments.All(opt) {
@@ -155,6 +177,16 @@ func run() error {
 				}
 			}
 			if err := checkClusterGate(fig, *clusterGate); err != nil {
+				return err
+			}
+		}
+		if r.ID == "ext-quantized" {
+			if *jsonOut {
+				if err := writeJSONFile("BENCH_quantized.json", fig); err != nil {
+					return err
+				}
+			}
+			if err := checkQuantizedGate(fig, *quantizedGate); err != nil {
 				return err
 			}
 		}
@@ -274,4 +306,34 @@ func checkClusterGate(fig *experiments.Figure, gate float64) error {
 		return nil
 	}
 	return fmt.Errorf("tcb-bench: ext-cluster has no replicas=2 point to gate")
+}
+
+// checkQuantizedGate enforces -quantized-gate against ext-quantized's
+// speedup series: the CI A/B gate that the int8 path must not serve slower
+// than the float32 kernels. Like the refill gate it compares the sweep's
+// best point — a real quantized-GEMM regression drags every batch size down
+// together, while one point grazing the line on a shared runner is noise.
+// No single-core skip: the int8 win is per-core (less weight traffic per
+// multiply-add), not parallelism.
+func checkQuantizedGate(fig *experiments.Figure, gate float64) error {
+	if gate <= 0 {
+		return nil
+	}
+	best, bestX := 0.0, 0.0
+	for i := range fig.X {
+		s, err := fig.Get("speedup", i)
+		if err != nil {
+			return err
+		}
+		if s > best {
+			best, bestX = s, fig.X[i]
+		}
+	}
+	if best < gate {
+		return fmt.Errorf("tcb-bench: best int8/float32 speedup %.3f (at %s=%g) below gate %.3f",
+			best, fig.XLabel, bestX, gate)
+	}
+	fmt.Fprintf(os.Stderr, "tcb-bench: quantized gate ok: best speedup %.3f at %s=%g (gate %.3f)\n",
+		best, fig.XLabel, bestX, gate)
+	return nil
 }

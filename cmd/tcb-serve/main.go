@@ -11,6 +11,8 @@
 //	tcb-serve -http :8080 ...                 # expose the server over HTTP
 //	tcb-serve -refill ...                     # continuous batching (mid-flight refill)
 //	tcb-serve -replicas 3 -route least ...    # multi-replica cluster with failover
+//	tcb-serve -quantize ...                   # int8 per-channel quantized projections
+//	tcb-serve -kernel scalar ...              # float32 GEMM kernel escape hatch
 //
 // In HTTP mode the server listens until interrupted:
 //
@@ -45,6 +47,7 @@ import (
 	"tcb/internal/sched"
 	"tcb/internal/serve"
 	"tcb/internal/stats"
+	"tcb/internal/tensor"
 	"tcb/internal/vocab"
 )
 
@@ -72,7 +75,18 @@ func main() {
 	chaosTarget := flag.Int("chaos-target", -1, "replica index the -chaos spec applies to (-1 = every replica; cluster mode only)")
 	stallTimeout := flag.Duration("stall-timeout", time.Second, "cluster watchdog: respawn a replica with pending work but no progress for this long")
 	respawnDeadline := flag.Duration("respawn-deadline", 2*time.Second, "bound on a wedged replica's drain before it is torn down")
+	kernelName := flag.String("kernel", "wide", "float32 GEMM kernel: scalar, wide, or int8 (wide float32 + quantized projections)")
+	quantize := flag.Bool("quantize", false, "serve through int8 per-channel quantized projections (bounded-error, opt-in)")
 	flag.Parse()
+
+	kernel, err := tensor.ParseKernel(*kernelName)
+	if err != nil {
+		fail(err)
+	}
+	tensor.SetKernel(kernel)
+	if *kernelName == "int8" {
+		*quantize = true
+	}
 
 	var scheduler sched.Scheduler
 	switch *schedName {
@@ -135,6 +149,7 @@ func main() {
 	// calls it once per replica generation.
 	newServer := func(withChaos bool) (*serve.Server, *serve.ChaosRunner, error) {
 		eng := engine.New(model.New(cfg, 42), *maxNew)
+		eng.Quantize = *quantize
 		if *refill {
 			// Mid-flight refill runs on the fused KV-cached decode loop;
 			// outputs are token-identical to the default path (DESIGN.md §11).
@@ -278,6 +293,8 @@ func main() {
 	fmt.Printf("stages (%s): schedule=%.1fms compute=%.1fms cleanup=%.1fms overruns=%d\n",
 		mode, float64(st.ScheduleNs)/1e6, float64(st.ComputeNs)/1e6,
 		float64(st.CleanupNs)/1e6, st.StageOverruns)
+	fmt.Printf("kernels: scalar=%d wide=%d int8=%d\n",
+		st.Kernels.Scalar, st.Kernels.Wide, st.Kernels.Int8)
 	if st.Refilling {
 		fmt.Printf("refill: admitted=%d retired-early=%d occupancy=%.0f%% slot-idle-steps=%d\n",
 			st.RefillsAdmitted, st.SegmentsRetiredEarly, st.BatchOccupancyPct, st.SlotIdleSteps)

@@ -62,6 +62,12 @@ type Engine struct {
 	// exists so ownership is explicit (the engine's compute runs on it,
 	// the serve pipeline reserves cores away from it via tensor.Reserve).
 	Pool *tensor.Pool
+	// Quantize routes every projection (attention, FFN, logits) through the
+	// int8 per-output-channel quantized GEMM instead of the float32 kernels.
+	// Opt-in: outputs carry a bounded quantization error rather than the
+	// float32 path's bitwise-identity guarantee. The model is quantized
+	// lazily on first Prepare (once per shared Params, race-safe).
+	Quantize bool
 }
 
 // New returns an engine over m generating at most maxNew tokens per request.
@@ -142,6 +148,9 @@ type Prepared struct {
 func (e *Engine) Prepare(b *batch.Batch, tokens map[int64][]int) (*Prepared, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
+	}
+	if e.Quantize {
+		e.Model.EnsureQuantized()
 	}
 	for _, it := range b.Items() {
 		seq, ok := tokens[it.ID]

@@ -20,8 +20,8 @@ func All(opt Options) []Runner {
 		{"fig10", func() (*Figure, error) { return Fig10(opt) }},
 		{"fig11", func() (*Figure, error) { return Fig11(opt) }},
 		{"fig12", func() (*Figure, error) { return Fig12(opt) }},
-		{"fig13", Fig13},
-		{"fig14", Fig14},
+		{"fig13", func() (*Figure, error) { return Fig13(opt) }},
+		{"fig14", func() (*Figure, error) { return Fig14(opt) }},
 		{"fig15a", func() (*Figure, error) { return Fig15a(opt) }},
 		{"fig15b", func() (*Figure, error) { return Fig15b(opt) }},
 		{"fig15c", func() (*Figure, error) { return Fig15c(opt) }},
@@ -39,6 +39,7 @@ func All(opt Options) []Runner {
 		{"ext-pipeline", func() (*Figure, error) { return ExtPipeline(opt) }},
 		{"ext-refill", func() (*Figure, error) { return ExtRefill(opt) }},
 		{"ext-cluster", func() (*Figure, error) { return ExtCluster(opt) }},
+		{"ext-quantized", func() (*Figure, error) { return ExtQuantized(opt) }},
 		{"ablation-packing", func() (*Figure, error) { return AblationPacking() }},
 	}
 }

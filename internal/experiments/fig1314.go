@@ -22,6 +22,7 @@ type SlottedOptions struct {
 	Reps       int   // timing repetitions; the minimum is kept
 	Model      model.Config
 	Seed       uint64
+	Quantize   bool // route projections through the int8 quantized GEMM
 }
 
 // DefaultSlottedOptions returns the paper's setting over the test-scale
@@ -60,6 +61,7 @@ func SlottedSpeedup(opt SlottedOptions) (*Figure, error) {
 		return nil, err
 	}
 	eng := engine.New(model.New(opt.Model, opt.Seed), 0) // encode-only timing
+	eng.Quantize = opt.Quantize
 	src := rng.New(opt.Seed)
 
 	perRow := opt.RowLen / opt.ReqLen
@@ -140,8 +142,9 @@ func SlottedSpeedup(opt SlottedOptions) (*Figure, error) {
 
 // Fig13 reproduces "Speedup of slotted ConcatBatching (batch size 10,
 // length 400)".
-func Fig13() (*Figure, error) {
+func Fig13(o Options) (*Figure, error) {
 	opt := DefaultSlottedOptions(10)
+	opt.Quantize = o.Quantize
 	f, err := SlottedSpeedup(opt)
 	if err != nil {
 		return nil, err
@@ -152,8 +155,9 @@ func Fig13() (*Figure, error) {
 
 // Fig14 reproduces "Speedup of slotted ConcatBatching (batch size 32,
 // length 400)".
-func Fig14() (*Figure, error) {
+func Fig14(o Options) (*Figure, error) {
 	opt := DefaultSlottedOptions(32)
+	opt.Quantize = o.Quantize
 	f, err := SlottedSpeedup(opt)
 	if err != nil {
 		return nil, err

@@ -36,9 +36,11 @@ func ExtFusedDecode(opt Options) (*Figure, error) {
 	m := model.New(cfg, opt.Seed+100)
 	fused := engine.New(m, maxNew)
 	fused.UseCache = true
+	fused.Quantize = opt.Quantize
 	perRow := engine.New(m, maxNew)
 	perRow.UseCache = true
 	perRow.FuseDecode = false
+	perRow.Quantize = opt.Quantize
 
 	src := rng.New(opt.Seed + 100)
 	fig := &Figure{

@@ -30,6 +30,11 @@ type Options struct {
 	// ext-refill skips the continuous-batching runs and mirrors the
 	// no-refill series instead, for A/B isolation.
 	DisableRefill bool
+	// Quantize routes every real-engine experiment's projections through
+	// the int8 per-channel quantized GEMM (tcb-bench -quantize, and implied
+	// by -kernel=int8). ext-quantized ignores it: that experiment always
+	// runs both paths to measure the gap.
+	Quantize bool
 }
 
 // DefaultOptions runs each point over a 5-second trace.

@@ -265,6 +265,9 @@ func (s *BatchDecodeState) Step(tokens []int) ([][]float32, error) {
 	heads := s.m.Cfg.NumHeads
 	dh := s.m.Cfg.HeadDim()
 	scale := attnScale(dh)
+	// One workspace per state feeds the quantized path's activation scratch
+	// (a no-op for float32 weights), so warm quantized Steps allocate nothing.
+	ws := s.pool()
 	q, attn, proj := s.q, s.attn, s.proj
 	q.Resize(n, d)
 	attn.Resize(n, d)
@@ -276,35 +279,35 @@ func (s *BatchDecodeState) Step(tokens []int) ([][]float32, error) {
 		k, v := cache.k, cache.v
 		k.Resize(n, d)
 		v.Resize(n, d)
-		layer.SelfAttn.WQ.ApplyInto(q, x)
-		layer.SelfAttn.WK.ApplyInto(k, x)
-		layer.SelfAttn.WV.ApplyInto(v, x)
+		layer.SelfAttn.WQ.ApplyIntoWS(q, x, ws)
+		layer.SelfAttn.WK.ApplyIntoWS(k, x, ws)
+		layer.SelfAttn.WV.ApplyIntoWS(v, x, ws)
 		tensor.ScatterAppendRows(cache.selfK, k, live)
 		tensor.ScatterAppendRows(cache.selfV, v, live)
 		tensor.AttendCachedRows(attn, q, cache.selfK, cache.selfV, live, heads, dh, scale, s.scores)
-		layer.SelfAttn.WO.ApplyInto(proj, attn)
+		layer.SelfAttn.WO.ApplyIntoWS(proj, attn, ws)
 		tensor.AddInPlace(x, proj)
 		layer.Norm1.Apply(x)
 
 		// Cross-attention against the fixed encoder cache of the own
 		// segment only.
-		layer.CrossAttn.WQ.ApplyInto(q, x)
+		layer.CrossAttn.WQ.ApplyIntoWS(q, x, ws)
 		tensor.AttendCachedRows(attn, q, cache.crossK, cache.crossV, live, heads, dh, scale, s.scores)
-		layer.CrossAttn.WO.ApplyInto(proj, attn)
+		layer.CrossAttn.WO.ApplyIntoWS(proj, attn, ws)
 		tensor.AddInPlace(x, proj)
 		layer.Norm2.Apply(x)
 
 		ff := s.ff
 		ff.Resize(n, s.m.Cfg.DFF)
-		layer.FFN.In.ApplyInto(ff, x)
+		layer.FFN.In.ApplyIntoWS(ff, x, ws)
 		tensor.ReLU(ff)
-		layer.FFN.Out.ApplyInto(proj, ff)
+		layer.FFN.Out.ApplyIntoWS(proj, ff, ws)
 		tensor.AddInPlace(x, proj)
 		layer.Norm3.Apply(x)
 	}
 
 	s.logits.Resize(n, s.m.Cfg.VocabSize)
-	s.m.P.OutProj.ApplyInto(s.logits, x)
+	s.m.P.OutProj.ApplyIntoWS(s.logits, x, ws)
 	for r, i := range live {
 		s.out[i] = s.logits.Row(r)
 	}
@@ -335,6 +338,7 @@ func (m *Model) GenerateBatchCached(rows []BatchDecodeRow, caps [][]int) ([][]Ge
 		}
 	}
 	st := m.newBatchDecodeState(rows, maxNew)
+	defer st.Close()
 	flat, err := greedyDecode(st, flatCaps, maxNew)
 	if err != nil {
 		return nil, err

@@ -74,5 +74,6 @@ func (m *Model) GenerateRowCached(encOut *tensor.Matrix, encLayout RowLayout, ca
 		}
 	}
 	st := m.newBatchDecodeState([]BatchDecodeRow{{EncOut: encOut, Layout: encLayout}}, maxNew)
+	defer st.Close()
 	return greedyDecode(st, caps, maxNew)
 }

@@ -109,9 +109,9 @@ func (s *BatchDecodeState) InsertSegment(encOut *tensor.Matrix) (int, error) {
 		sv := ws.Get(s.reserve, d)
 		sv.Resize(0, d)
 		ck := ws.Get(n, d)
-		layer.CrossAttn.WK.ApplyInto(ck, encOut)
+		layer.CrossAttn.WK.ApplyIntoWS(ck, encOut, ws)
 		cv := ws.Get(n, d)
-		layer.CrossAttn.WV.ApplyInto(cv, encOut)
+		layer.CrossAttn.WV.ApplyIntoWS(cv, encOut, ws)
 		lc.selfK = append(lc.selfK, sk)
 		lc.selfV = append(lc.selfV, sv)
 		lc.crossK = append(lc.crossK, ck)

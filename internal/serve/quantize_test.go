@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tcb/internal/batch"
+	"tcb/internal/engine"
+	"tcb/internal/model"
+	"tcb/internal/rng"
+	"tcb/internal/sched"
+	"tcb/internal/tensor"
+)
+
+// A quantized server under injected faults: concurrent submits race the
+// engine's lazy EnsureQuantized, retries re-enter the int8 kernels, and
+// every request must still get an answer. This is the race-detector surface
+// for the quantized path (CI runs this package with -race).
+func TestQuantizedChaosServes(t *testing.T) {
+	cfg := model.Config{
+		VocabSize: testVocab, DModel: 32, NumHeads: 4, DFF: 64,
+		EncLayers: 1, DecLayers: 1, MaxLen: 256, Eps: 1e-5,
+	}
+	e := engine.New(model.New(cfg, 5), 3)
+	e.Quantize = true
+	chaos := NewChaosRunner(e, ChaosConfig{ErrRate: 0.2, PanicRate: 0.05, Seed: 7})
+	s, err := New(Config{
+		Engine: chaos, Scheduler: sched.NewDAS(), Scheme: batch.Concat,
+		B: 4, L: 64, Poll: 200 * time.Microsecond,
+		Retry:            RetryPolicy{MaxAttempts: 4, Backoff: time.Millisecond},
+		BreakerThreshold: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tensor.ResetKernelCounters()
+	t.Cleanup(tensor.ResetKernelCounters)
+	s.Start()
+	defer s.Stop()
+
+	const clients, perClient = 8, 3
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			src := rng.New(uint64(c) + 900)
+			for i := 0; i < perClient; i++ {
+				ch, err := s.Submit(randTokens(src, src.IntRange(2, 10)), 10*time.Second)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp := <-ch
+				errs <- resp.Err
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	answered, failed := 0, 0
+	for err := range errs {
+		answered++
+		if err != nil {
+			failed++ // chaos can exhaust retries; losing a request is fine, hanging is not
+		}
+	}
+	if answered != clients*perClient {
+		t.Fatalf("answered %d of %d requests", answered, clients*perClient)
+	}
+	if failed == answered {
+		t.Fatal("every request failed — server never recovered from chaos")
+	}
+	st := s.Stats()
+	if st.Kernels.Int8 == 0 {
+		t.Fatal("quantized server reported zero int8 GEMM dispatches")
+	}
+	if st.Served == 0 {
+		t.Fatal("stats report zero served requests")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"tcb/internal/batch"
 	"tcb/internal/engine"
 	"tcb/internal/sched"
+	"tcb/internal/tensor"
 )
 
 // Runner abstracts the inference engine so tests can inject failures and
@@ -209,6 +210,12 @@ type Stats struct {
 	// Refilling reports whether continuous batching is active (Config.Refill
 	// set and the engine supports the refill path).
 	Refilling bool
+
+	// Kernels snapshots the process-wide GEMM dispatch counters: which
+	// kernel paths (scalar / wide float32, int8 quantized) this replica's
+	// FLOPs actually flowed through. Process-wide, not per-server — in a
+	// multi-replica cluster every replica reports the same process totals.
+	Kernels tensor.KernelCounts
 }
 
 // Response is the outcome of one request.
@@ -580,6 +587,7 @@ func (s *Server) Stats() Stats {
 		SlotIdleSteps:        s.slotIdleSteps.Load(),
 		BatchOccupancyPct:    occupancy,
 		Refilling:            s.refiller != nil,
+		Kernels:              tensor.KernelCounters(),
 	}
 }
 

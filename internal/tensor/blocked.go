@@ -173,12 +173,3 @@ func matMulTBlockedTiles(dst, a, b *Matrix, tLo, tHi int) {
 		}
 	}
 }
-
-// mulDispatch picks the kernel by problem size.
-func mulDispatch(dst, a, b *Matrix) {
-	if a.Rows*a.Cols*b.Cols >= matMulThreshold {
-		MatMulBlocked(dst, a, b)
-		return
-	}
-	matMulSmall(dst, a, b)
-}

@@ -1,0 +1,120 @@
+package tensor
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Kernel selects which float32 GEMM micro-kernel mulDispatch routes MatMul
+// through. Both kernels share the pinned per-row accumulation-order contract
+// (k-quads then a scalar tail, independent of GEMM height, worker chunking
+// and row pairing), so switching kernels never changes a single output bit —
+// the wide kernel is the default and the scalar kernel remains as the
+// reference and A/B escape hatch.
+type Kernel int32
+
+const (
+	// KernelWide is the 8-lane j-blocked form of the 2×4 register-blocked
+	// kernel: the innermost column loop runs over fixed-size 8-float lanes
+	// (unsafe array-pointer blocks on the default build, plain slices under
+	// the purego build tag), eliminating per-element bounds checks while
+	// keeping each element's k-accumulation order bitwise identical to the
+	// scalar kernel's.
+	KernelWide Kernel = iota
+	// KernelScalar is the PR 2 reference: 2×4 register blocking with plain
+	// slice indexing.
+	KernelScalar
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelWide:
+		return "wide"
+	case KernelScalar:
+		return "scalar"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int32(k))
+	}
+}
+
+// ParseKernel converts a -kernel flag value to a Kernel. "int8" selects the
+// wide float32 kernel — the int8 path is a property of quantized weights,
+// not of the float32 dispatch — so callers handling "int8" should also
+// enable weight quantization.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "wide", "int8":
+		return KernelWide, nil
+	case "scalar":
+		return KernelScalar, nil
+	default:
+		return 0, fmt.Errorf("tensor: unknown kernel %q (want scalar, wide or int8)", s)
+	}
+}
+
+// activeKernel is the process-wide float32 kernel selection. Reads are a
+// single atomic load on the GEMM dispatch path.
+var activeKernel atomic.Int32 // KernelWide (zero value) by default
+
+// SetKernel selects the float32 GEMM kernel for every subsequent MatMul
+// dispatch, process-wide. Outputs are bitwise identical either way; the
+// switch exists for A/B benchmarking and as an escape hatch.
+func SetKernel(k Kernel) { activeKernel.Store(int32(k)) }
+
+// ActiveKernel returns the current float32 kernel selection.
+func ActiveKernel() Kernel { return Kernel(activeKernel.Load()) }
+
+// Per-path dispatch counters: which GEMM kernel actually served traffic.
+// Incremented once per MatMul/MatMulT dispatch (not per tile or worker
+// chunk); the serve layer snapshots them into Stats so deployed replicas
+// report the paths their FLOPs flowed through.
+var (
+	scalarCalls atomic.Uint64
+	wideCalls   atomic.Uint64
+	int8Calls   atomic.Uint64
+)
+
+// KernelCounts is a point-in-time snapshot of GEMM dispatches per kernel
+// path since process start (or the last ResetKernelCounters).
+type KernelCounts struct {
+	Scalar uint64 `json:"scalar"` // 2×4 register-blocked float32 dispatches
+	Wide   uint64 `json:"wide"`   // 8-lane float32 dispatches
+	Int8   uint64 `json:"int8"`   // per-channel quantized int8 GEMMs
+}
+
+// KernelCounters returns the process-wide kernel dispatch counters.
+func KernelCounters() KernelCounts {
+	return KernelCounts{
+		Scalar: scalarCalls.Load(),
+		Wide:   wideCalls.Load(),
+		Int8:   int8Calls.Load(),
+	}
+}
+
+// ResetKernelCounters zeroes the dispatch counters (tests and benchmarks).
+func ResetKernelCounters() {
+	scalarCalls.Store(0)
+	wideCalls.Store(0)
+	int8Calls.Store(0)
+}
+
+// mulDispatch picks the float32 kernel by problem size and the process-wide
+// kernel selection. Every path computes each dst row with the identical
+// per-row accumulation order, so the choice is invisible in the output.
+func mulDispatch(dst, a, b *Matrix) {
+	if ActiveKernel() == KernelWide {
+		wideCalls.Add(1)
+		if a.Rows*a.Cols*b.Cols >= matMulThreshold {
+			MatMulWideBlocked(dst, a, b)
+			return
+		}
+		matMulWideSmall(dst, a, b)
+		return
+	}
+	scalarCalls.Add(1)
+	if a.Rows*a.Cols*b.Cols >= matMulThreshold {
+		MatMulBlocked(dst, a, b)
+		return
+	}
+	matMulSmall(dst, a, b)
+}

@@ -1,0 +1,242 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// Symmetric absmax rounding means every weight reconstructs to within half a
+// quantization step of its channel.
+func TestQuantizeRoundTripBoundedError(t *testing.T) {
+	w := randMatrix(37, 29, 71)
+	q := QuantizeMatrix(w)
+	d := q.Dequantize()
+	for i := 0; i < w.Rows; i++ {
+		for j := 0; j < w.Cols; j++ {
+			diff := math.Abs(float64(w.At(i, j)) - float64(d.At(i, j)))
+			bound := 0.5*float64(q.Scales[j]) + 1e-12
+			if diff > bound*(1+1e-5) {
+				t.Fatalf("(%d,%d): |%v - %v| = %g exceeds half-step %g",
+					i, j, w.At(i, j), d.At(i, j), diff, bound)
+			}
+		}
+	}
+}
+
+// Edge channels: all-zero columns, a single dominating outlier, and absmax
+// values small enough that the float32 scale underflows to zero (the
+// degenerate case whose reciprocal would otherwise overflow).
+func TestQuantizeEdgeChannels(t *testing.T) {
+	w := New(4, 4)
+	// col 0: all zero. col 1: one outlier at 100 among 0.1s. col 2: absmax is
+	// the smallest positive float32 (scale underflows to 0). col 3: absmax
+	// 1e-38 (denormal but representable scale).
+	for i := 0; i < 4; i++ {
+		w.Set(i, 1, 0.1)
+		w.Set(i, 3, 1e-38*float32(i+1)/4)
+	}
+	w.Set(2, 1, 100)
+	w.Set(1, 2, math.SmallestNonzeroFloat32)
+	q := QuantizeMatrix(w)
+	d := q.Dequantize()
+
+	if q.Scales[0] != 0 || q.Scales[2] != 0 {
+		t.Fatalf("degenerate channels must get zero scales: %v", q.Scales)
+	}
+	for i := 0; i < 4; i++ {
+		if d.At(i, 0) != 0 || d.At(i, 2) != 0 {
+			t.Fatalf("degenerate channels must dequantize to exact zero: row %d", i)
+		}
+	}
+	// The outlier pins the scale: 100 maps to ±127 exactly and reconstructs
+	// to 100 within float rounding; 0.1 is far below half a step (≈0.39) and
+	// quantizes to zero.
+	if got := q.At(2, 1); got != 127 {
+		t.Fatalf("outlier quantized to %d, want 127", got)
+	}
+	if diff := math.Abs(float64(d.At(2, 1)) - 100); diff > 1e-4 {
+		t.Fatalf("outlier reconstructs to %v, want 100", d.At(2, 1))
+	}
+	if got := q.At(0, 1); got != 0 {
+		t.Fatalf("sub-half-step value quantized to %d, want 0", got)
+	}
+	// The denormal-scale channel still round-trips within half a step.
+	for i := 0; i < 4; i++ {
+		diff := math.Abs(float64(w.At(i, 3)) - float64(d.At(i, 3)))
+		if diff > 0.5*float64(q.Scales[3])*(1+1e-5) {
+			t.Fatalf("denormal channel row %d off by %g (scale %g)", i, diff, q.Scales[3])
+		}
+	}
+}
+
+// At returns the quantized entry (test helper shape).
+func (q *QuantizedMatrix) At(i, j int) int8 { return q.Data[i*q.Cols+j] }
+
+// The kernel's biased form must be derivable from the canonical int8 data.
+func TestQuantizedKernelFormMatchesData(t *testing.T) {
+	w := randMatrix(23, 17, 73)
+	q := QuantizeMatrix(w)
+	if len(q.udata) != len(q.Data) || len(q.colSumU) != q.Cols {
+		t.Fatalf("kernel form sizes: %d/%d data, %d/%d cols",
+			len(q.udata), len(q.Data), len(q.colSumU), q.Cols)
+	}
+	sums := make([]int32, q.Cols)
+	for i := 0; i < q.Rows; i++ {
+		for j := 0; j < q.Cols; j++ {
+			u := int32(q.Data[i*q.Cols+j]) + 128
+			if int32(q.udata[i*q.Cols+j]) != u {
+				t.Fatalf("udata[%d,%d] = %d, want %d", i, j, q.udata[i*q.Cols+j], u)
+			}
+			sums[j] += u
+		}
+	}
+	for j := range sums {
+		if sums[j] != q.colSumU[j] {
+			t.Fatalf("colSumU[%d] = %d, want %d", j, q.colSumU[j], sums[j])
+		}
+	}
+}
+
+// The SWAR kernel's integer arithmetic is exact: its output must equal the
+// float64 evaluation of the quantized product Σ qa·qw · sa · sw to within
+// the final float32 dequantization rounding.
+func TestMatMulQuantizedMatchesExactInt(t *testing.T) {
+	for _, s := range [][3]int{{1, 1, 1}, {3, 5, 7}, {17, 40, 23}, {9, 130, 300}} {
+		a := randMatrix(s[0], s[1], uint64(300+s[0]))
+		w := randMatrix(s[1], s[2], uint64(400+s[2]))
+		q := QuantizeMatrix(w)
+		got := New(s[0], s[2])
+		MatMulQuantizedInto(got, a, q, nil)
+
+		qa := &I8Matrix{Rows: s[0], Cols: s[1], Data: make([]int8, s[0]*s[1])}
+		sa := make([]float32, s[0])
+		quantizeRowsInto(qa, sa, a)
+		for i := 0; i < s[0]; i++ {
+			for j := 0; j < s[2]; j++ {
+				var acc int64
+				for k := 0; k < s[1]; k++ {
+					acc += int64(qa.Data[i*s[1]+k]) * int64(q.Data[k*s[2]+j])
+				}
+				ref := float64(acc) * float64(sa[i]) * float64(q.Scales[j])
+				diff := math.Abs(float64(got.At(i, j)) - ref)
+				if diff > 1e-5*math.Max(1, math.Abs(ref)) {
+					t.Fatalf("shape %v (%d,%d): %v vs exact %v", s, i, j, got.At(i, j), ref)
+				}
+			}
+		}
+	}
+}
+
+// Per-row activation scales and exact integer accumulation make the
+// quantized output independent of GEMM height: computing row blocks
+// separately must reproduce the full product bit for bit.
+func TestMatMulQuantizedHeightInvariance(t *testing.T) {
+	a := randMatrix(13, 32, 81)
+	w := randMatrix(32, 48, 82)
+	q := QuantizeMatrix(w)
+	full := New(13, 48)
+	MatMulQuantizedInto(full, a, q, nil)
+	for _, split := range []int{1, 5, 12} {
+		for _, part := range [][2]int{{0, split}, {split, 13}} {
+			rows := part[1] - part[0]
+			sub := FromSlice(rows, 32, a.Data[part[0]*32:part[1]*32])
+			out := New(rows, 48)
+			MatMulQuantizedInto(out, sub, q, nil)
+			for i := 0; i < rows; i++ {
+				for j := 0; j < 48; j++ {
+					g, f := out.At(i, j), full.At(part[0]+i, j)
+					if math.Float32bits(g) != math.Float32bits(f) {
+						t.Fatalf("split %d row %d col %d: %v != %v", split, part[0]+i, j, g, f)
+					}
+				}
+			}
+		}
+	}
+}
+
+// End-to-end error bound against the unquantized float product: each output
+// can be off by at most the propagated half-step errors of both operands.
+func TestMatMulQuantizedBoundedErrorVsFloat(t *testing.T) {
+	a := randMatrix(11, 64, 91)
+	w := randMatrix(64, 33, 92)
+	q := QuantizeMatrix(w)
+	got := New(11, 33)
+	MatMulQuantizedInto(got, a, q, nil)
+
+	qa := &I8Matrix{Rows: a.Rows, Cols: a.Cols, Data: make([]int8, a.Rows*a.Cols)}
+	sa := make([]float32, a.Rows)
+	quantizeRowsInto(qa, sa, a)
+	for i := 0; i < a.Rows; i++ {
+		ea := 0.5 * float64(sa[i]) // max per-entry activation error
+		for j := 0; j < w.Cols; j++ {
+			ew := 0.5 * float64(q.Scales[j]) // max per-entry weight error
+			var ref, bound float64
+			for k := 0; k < a.Cols; k++ {
+				x := float64(a.At(i, k))
+				y := float64(w.At(k, j))
+				ref += x * y
+				bound += ea*math.Abs(y) + ew*math.Abs(x) + ea*ew
+			}
+			diff := math.Abs(float64(got.At(i, j)) - ref)
+			if diff > bound*(1+1e-4)+1e-9 {
+				t.Fatalf("(%d,%d): |quantized - float| = %g exceeds bound %g", i, j, diff, bound)
+			}
+		}
+	}
+}
+
+func TestMatMulQuantizedShapePanics(t *testing.T) {
+	q := QuantizeMatrix(randMatrix(4, 5, 95))
+	for _, fn := range []func(){
+		func() { MatMulQuantizedInto(New(2, 5), New(2, 3), q, nil) }, // inner dim
+		func() { MatMulQuantizedInto(New(3, 5), New(2, 4), q, nil) }, // dst rows
+		func() { MatMulQuantizedInto(New(2, 4), New(2, 4), q, nil) }, // dst cols
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Warm quantized GEMMs are allocation-free both with a caller workspace and
+// with the package pool (nil workspace).
+func TestMatMulQuantizedWarmZeroAllocs(t *testing.T) {
+	serialKernels(t)
+	a := randMatrix(24, 32, 96)
+	w := randMatrix(32, 48, 97)
+	q := QuantizeMatrix(w)
+	dst := New(24, 48)
+	ws := NewWorkspace()
+	defer ws.Close()
+	MatMulQuantizedInto(dst, a, q, ws) // warm the buckets
+	allocs := testing.AllocsPerRun(20, func() { MatMulQuantizedInto(dst, a, q, ws) })
+	if allocs != 0 {
+		t.Fatalf("warm quantized GEMM (caller ws) allocated %g times per run", allocs)
+	}
+	if !raceEnabled { // the race detector drops sync.Pool puts by design
+		MatMulQuantizedInto(dst, a, q, nil) // warm the package pool
+		allocs = testing.AllocsPerRun(20, func() { MatMulQuantizedInto(dst, a, q, nil) })
+		if allocs != 0 {
+			t.Fatalf("warm quantized GEMM (pooled ws) allocated %g times per run", allocs)
+		}
+	}
+}
+
+func BenchmarkMatMulQuantized256(b *testing.B) {
+	a := randMatrix(256, 256, 1)
+	w := randMatrix(256, 256, 2)
+	q := QuantizeMatrix(w)
+	dst := New(256, 256)
+	ws := NewWorkspace()
+	defer ws.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulQuantizedInto(dst, a, q, ws)
+	}
+}

@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// withKernel selects a float32 kernel for the test and restores the previous
+// selection afterwards (the selection is process-wide).
+func withKernel(t *testing.T, k Kernel) {
+	t.Helper()
+	old := ActiveKernel()
+	SetKernel(k)
+	t.Cleanup(func() { SetKernel(old) })
+}
+
+// sprinkleZeros plants exact zeros so the kernels' k-tail zero-skip paths
+// run (random floats almost never hit 0.0 exactly).
+func sprinkleZeros(m *Matrix) {
+	for i := 0; i < len(m.Data); i += 7 {
+		m.Data[i] = 0
+	}
+}
+
+// requireBitwiseEqual fails unless every element of got has the identical
+// bit pattern to want — the wide kernel's contract is exact equality, not
+// closeness.
+func requireBitwiseEqual(t *testing.T, got, want *Matrix, label string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d != %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: bit mismatch at flat index %d: %v (%#08x) vs %v (%#08x)",
+				label, i,
+				got.Data[i], math.Float32bits(got.Data[i]),
+				want.Data[i], math.Float32bits(want.Data[i]))
+		}
+	}
+}
+
+// The tentpole contract: the 8-lane wide kernel produces bit-for-bit the
+// same outputs as the scalar reference kernel, across shapes that exercise
+// every lane/quad/tail combination — odd rows (the paired-row remainder),
+// odd k (the scalar k-tail, with planted zeros for its skip branch), and
+// column counts straddling multiples of 8.
+func TestWideMatchesScalarBitwise(t *testing.T) {
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 5, 3}, {2, 3, 9}, {3, 7, 8}, {5, 9, 17},
+		{7, 8, 15}, {9, 16, 7}, {31, 33, 31}, {64, 64, 64},
+		{65, 63, 66}, {129, 65, 130},
+	}
+	for _, s := range shapes {
+		a := randMatrix(s[0], s[1], uint64(100+s[0]))
+		b := randMatrix(s[1], s[2], uint64(200+s[2]))
+		sprinkleZeros(a)
+		want := New(s[0], s[2])
+		withKernel(t, KernelScalar)
+		MatMulInto(want, a, b)
+		got := New(s[0], s[2])
+		SetKernel(KernelWide)
+		MatMulInto(got, a, b)
+		requireBitwiseEqual(t, got, want, "wide vs scalar")
+	}
+}
+
+// The blocked (cache-tiled) forms of both kernels share the same tiling
+// geometry, so they must agree bitwise too.
+func TestWideBlockedMatchesScalarBlockedBitwise(t *testing.T) {
+	a := randMatrix(150, 90, 31)
+	b := randMatrix(90, 130, 32)
+	sprinkleZeros(a)
+	want := New(150, 130)
+	MatMulBlocked(want, a, b)
+	got := New(150, 130)
+	MatMulWideBlocked(got, a, b)
+	requireBitwiseEqual(t, got, want, "wide blocked vs scalar blocked")
+}
+
+// A product crossing the small→blocked dispatch threshold must stay bitwise
+// identical between kernel selections (130³ > matMulThreshold).
+func TestWideDispatchCrossesThreshold(t *testing.T) {
+	a := randMatrix(130, 130, 41)
+	b := randMatrix(130, 130, 42)
+	sprinkleZeros(a)
+	withKernel(t, KernelScalar)
+	want := MatMul(a, b)
+	SetKernel(KernelWide)
+	got := MatMul(a, b)
+	requireBitwiseEqual(t, got, want, "dispatch at threshold")
+}
+
+func TestParseKernel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kernel
+		ok   bool
+	}{
+		{"wide", KernelWide, true},
+		{"int8", KernelWide, true}, // int8 rides the wide float32 dispatch
+		{"scalar", KernelScalar, true},
+		{"avx512", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseKernel(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Fatalf("ParseKernel(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("ParseKernel(%q) should fail", c.in)
+		}
+	}
+	if KernelWide.String() != "wide" || KernelScalar.String() != "scalar" {
+		t.Fatalf("Kernel.String: %q / %q", KernelWide, KernelScalar)
+	}
+}
+
+// Dispatch counters tick once per GEMM on the path that actually ran it.
+func TestKernelCounters(t *testing.T) {
+	a := randMatrix(8, 8, 51)
+	b := randMatrix(8, 8, 52)
+	q := QuantizeMatrix(b)
+	dst := New(8, 8)
+
+	withKernel(t, KernelWide)
+	ResetKernelCounters()
+	t.Cleanup(ResetKernelCounters)
+	MatMulInto(dst, a, b)
+	MatMulInto(dst, a, b)
+	SetKernel(KernelScalar)
+	MatMulInto(dst, a, b)
+	MatMulQuantizedInto(dst, a, q, nil)
+	got := KernelCounters()
+	want := KernelCounts{Scalar: 1, Wide: 2, Int8: 1}
+	if got != want {
+		t.Fatalf("counters = %+v, want %+v", got, want)
+	}
+}
+
+// The wide kernel inherits the float32 path's zero-allocation guarantee on
+// both sides of the blocked threshold.
+func TestWideKernelZeroAllocs(t *testing.T) {
+	serialKernels(t)
+	withKernel(t, KernelWide)
+	a := randMatrix(64, 64, 61)
+	b := randMatrix(64, 64, 62)
+	dst := New(64, 64)
+	allocs := testing.AllocsPerRun(20, func() { MatMulInto(dst, a, b) })
+	if allocs != 0 {
+		t.Fatalf("wide small kernel allocated %g times per run", allocs)
+	}
+	la := randMatrix(192, 96, 63)
+	lb := randMatrix(96, 192, 64)
+	ldst := New(192, 192)
+	allocs = testing.AllocsPerRun(5, func() { MatMulInto(ldst, la, lb) })
+	if allocs != 0 {
+		t.Fatalf("wide blocked kernel allocated %g times per run", allocs)
+	}
+}

@@ -1,0 +1,117 @@
+//go:build !purego
+
+package tensor
+
+import "unsafe"
+
+// This file is the default (unsafe) implementation of the 8-lane inner-loop
+// helpers behind the wide float32 kernel. Each helper advances over the
+// destination in fixed [8]float32 blocks through array pointers, so the
+// innermost multiply-adds run with no per-element bounds checks and with the
+// eight lanes laid out for the compiler to keep in registers.
+//
+// lanes_purego.go holds the pure-Go fallback (build tag purego) with the
+// identical per-element expressions; the accumulation order of every dst
+// element — a k-quad's four products summed left to right, exactly the
+// scalar kernel's order — is the same on both builds and both kernels, so
+// results are bitwise identical everywhere. Any change here must be mirrored
+// there (and vice versa) or TestWideMatchesScalarExact will fail.
+
+// lane8 is one 8-float block of a row.
+type lane8 = [8]float32
+
+// quadAxpy2 performs, for every j in [0, len(d0)):
+//
+//	d0[j] += a00*b0[j] + a01*b1[j] + a02*b2[j] + a03*b3[j]
+//	d1[j] += a10*b0[j] + a11*b1[j] + a12*b2[j] + a13*b3[j]
+//
+// — one k-quad of the 2×4 register-blocked kernel across two dst rows.
+// b0..b3 and d1 must be at least len(d0) long.
+func quadAxpy2(d0, d1, b0, b1, b2, b3 []float32,
+	a00, a01, a02, a03, a10, a11, a12, a13 float32) {
+	n := len(d0)
+	j := 0
+	for ; j+8 <= n; j += 8 {
+		p0 := (*lane8)(unsafe.Pointer(&d0[j]))
+		p1 := (*lane8)(unsafe.Pointer(&d1[j]))
+		q0 := (*lane8)(unsafe.Pointer(&b0[j]))
+		q1 := (*lane8)(unsafe.Pointer(&b1[j]))
+		q2 := (*lane8)(unsafe.Pointer(&b2[j]))
+		q3 := (*lane8)(unsafe.Pointer(&b3[j]))
+		for l := 0; l < 8; l++ {
+			v0, v1, v2, v3 := q0[l], q1[l], q2[l], q3[l]
+			p0[l] += a00*v0 + a01*v1 + a02*v2 + a03*v3
+			p1[l] += a10*v0 + a11*v1 + a12*v2 + a13*v3
+		}
+	}
+	for ; j < n; j++ {
+		v0, v1, v2, v3 := b0[j], b1[j], b2[j], b3[j]
+		d0[j] += a00*v0 + a01*v1 + a02*v2 + a03*v3
+		d1[j] += a10*v0 + a11*v1 + a12*v2 + a13*v3
+	}
+}
+
+// quadAxpy1 is the one-row form of quadAxpy2 (the odd-row remainder path):
+//
+//	d[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+func quadAxpy1(d, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+	n := len(d)
+	j := 0
+	for ; j+8 <= n; j += 8 {
+		p := (*lane8)(unsafe.Pointer(&d[j]))
+		q0 := (*lane8)(unsafe.Pointer(&b0[j]))
+		q1 := (*lane8)(unsafe.Pointer(&b1[j]))
+		q2 := (*lane8)(unsafe.Pointer(&b2[j]))
+		q3 := (*lane8)(unsafe.Pointer(&b3[j]))
+		for l := 0; l < 8; l++ {
+			p[l] += a0*q0[l] + a1*q1[l] + a2*q2[l] + a3*q3[l]
+		}
+	}
+	for ; j < n; j++ {
+		d[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+// tailAxpy2 is one scalar-tail k step across two dst rows:
+//
+//	d0[j] += a0*b[j]; d1[j] += a1*b[j]
+//
+// It never skips a0 == 0 — matching the paired scalar path, which always
+// adds (the zero-skip short-circuit lives only on the single-row tails).
+func tailAxpy2(d0, d1, b []float32, a0, a1 float32) {
+	n := len(d0)
+	j := 0
+	for ; j+8 <= n; j += 8 {
+		p0 := (*lane8)(unsafe.Pointer(&d0[j]))
+		p1 := (*lane8)(unsafe.Pointer(&d1[j]))
+		q := (*lane8)(unsafe.Pointer(&b[j]))
+		for l := 0; l < 8; l++ {
+			v := q[l]
+			p0[l] += a0 * v
+			p1[l] += a1 * v
+		}
+	}
+	for ; j < n; j++ {
+		v := b[j]
+		d0[j] += a0 * v
+		d1[j] += a1 * v
+	}
+}
+
+// tailAxpy1 is one scalar-tail k step on a single dst row. Callers apply the
+// single-row zero-skip (if a == 0, skip the call) exactly where the scalar
+// kernel does.
+func tailAxpy1(d, b []float32, a float32) {
+	n := len(d)
+	j := 0
+	for ; j+8 <= n; j += 8 {
+		p := (*lane8)(unsafe.Pointer(&d[j]))
+		q := (*lane8)(unsafe.Pointer(&b[j]))
+		for l := 0; l < 8; l++ {
+			p[l] += a * q[l]
+		}
+	}
+	for ; j < n; j++ {
+		d[j] += a * b[j]
+	}
+}

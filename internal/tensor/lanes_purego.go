@@ -1,0 +1,59 @@
+//go:build purego
+
+package tensor
+
+// Pure-Go fallback for the wide kernel's 8-lane inner-loop helpers: plain
+// slice indexing, no unsafe, for platforms or policies where the unsafe
+// array-pointer form is unwelcome. The per-element expressions — and
+// therefore every dst element's accumulation order — are identical to
+// lanes.go, so the two builds produce bitwise-identical results; the purego
+// CI job exists so this file can never rot.
+
+// quadAxpy2 performs one k-quad of the 2×4 register-blocked kernel across
+// two dst rows; see lanes.go for the contract.
+func quadAxpy2(d0, d1, b0, b1, b2, b3 []float32,
+	a00, a01, a02, a03, a10, a11, a12, a13 float32) {
+	n := len(d0)
+	d1 = d1[:n]
+	b0 = b0[:n]
+	b1 = b1[:n]
+	b2 = b2[:n]
+	b3 = b3[:n]
+	for j := range d0 {
+		v0, v1, v2, v3 := b0[j], b1[j], b2[j], b3[j]
+		d0[j] += a00*v0 + a01*v1 + a02*v2 + a03*v3
+		d1[j] += a10*v0 + a11*v1 + a12*v2 + a13*v3
+	}
+}
+
+// quadAxpy1 is the one-row form of quadAxpy2.
+func quadAxpy1(d, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+	n := len(d)
+	b0 = b0[:n]
+	b1 = b1[:n]
+	b2 = b2[:n]
+	b3 = b3[:n]
+	for j := range d {
+		d[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+// tailAxpy2 is one scalar-tail k step across two dst rows (no zero-skip).
+func tailAxpy2(d0, d1, b []float32, a0, a1 float32) {
+	n := len(d0)
+	d1 = d1[:n]
+	b = b[:n]
+	for j := range d0 {
+		v := b[j]
+		d0[j] += a0 * v
+		d1[j] += a1 * v
+	}
+}
+
+// tailAxpy1 is one scalar-tail k step on a single dst row.
+func tailAxpy1(d, b []float32, a float32) {
+	b = b[:len(d)]
+	for j := range d {
+		d[j] += a * b[j]
+	}
+}

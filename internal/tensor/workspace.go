@@ -24,7 +24,8 @@ const (
 // recycled through a package-level sync.Pool, so buffers survive across
 // batches: obtain one with NewWorkspace and return it with Close.
 type Workspace struct {
-	free [maxBucketBits + 1][]*Matrix
+	free   [maxBucketBits + 1][]*Matrix
+	freeI8 [maxBucketBits + 1][]*I8Matrix
 }
 
 var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
@@ -107,4 +108,48 @@ func (w *Workspace) Put(m *Matrix) {
 	m.Stride = 0
 	m.Data = m.Data[:c]
 	w.free[b] = append(w.free[b], m)
+}
+
+// GetI8 checks out a rows×cols int8 matrix from the workspace's int8 buckets
+// (the quantized GEMM's per-call activation scratch). Contents are
+// unspecified. A nil workspace degrades to a plain allocation.
+func (w *Workspace) GetI8(rows, cols int) *I8Matrix {
+	n := rows * cols
+	if w == nil {
+		return &I8Matrix{Rows: rows, Cols: cols, Data: make([]int8, n)}
+	}
+	if n == 0 {
+		return &I8Matrix{Rows: rows, Cols: cols}
+	}
+	b := bucketFor(n)
+	if b <= maxBucketBits {
+		if fl := w.freeI8[b]; len(fl) > 0 {
+			m := fl[len(fl)-1]
+			fl[len(fl)-1] = nil
+			w.freeI8[b] = fl[:len(fl)-1]
+			m.Rows, m.Cols = rows, cols
+			m.Data = m.Data[:cap(m.Data)][:n]
+			return m
+		}
+		return &I8Matrix{Rows: rows, Cols: cols, Data: make([]int8, 1<<b)[:n]}
+	}
+	return &I8Matrix{Rows: rows, Cols: cols, Data: make([]int8, n)}
+}
+
+// PutI8 releases an int8 matrix previously returned by GetI8. Same pooling
+// rules as Put: only full power-of-two buffers are kept.
+func (w *Workspace) PutI8(m *I8Matrix) {
+	if w == nil || m == nil {
+		return
+	}
+	c := cap(m.Data)
+	if c == 0 {
+		return
+	}
+	b := bits.Len(uint(c)) - 1
+	if 1<<b != c || b < minBucketBits || b > maxBucketBits {
+		return
+	}
+	m.Data = m.Data[:c]
+	w.freeI8[b] = append(w.freeI8[b], m)
 }
