@@ -76,6 +76,7 @@ func run() error {
 	kernel := flag.String("kernel", "wide", "float32 GEMM kernel: scalar, wide, or int8 (wide float32 + quantized projections)")
 	quantize := flag.Bool("quantize", false, "route real-engine experiments' projections through the int8 quantized GEMM")
 	quantizedGate := flag.Float64("quantized-gate", 0, "fail if ext-quantized's best int8/float32 speedup across the sweep is below this (0 = off)")
+	fairnessGate := flag.Float64("fairness-gate", 0, "fail if ext-fairness's flooded well-behaved goodput ratio or Jain index is below this (0 = off)")
 	flag.Parse()
 
 	k, err := tensor.ParseKernel(*kernel)
@@ -187,6 +188,16 @@ func run() error {
 				}
 			}
 			if err := checkQuantizedGate(fig, *quantizedGate); err != nil {
+				return err
+			}
+		}
+		if r.ID == "ext-fairness" {
+			if *jsonOut {
+				if err := writeJSONFile("BENCH_fairness.json", fig); err != nil {
+					return err
+				}
+			}
+			if err := checkFairnessGate(fig, *fairnessGate); err != nil {
 				return err
 			}
 		}
@@ -306,6 +317,40 @@ func checkClusterGate(fig *experiments.Figure, gate float64) error {
 		return nil
 	}
 	return fmt.Errorf("tcb-bench: ext-cluster has no replicas=2 point to gate")
+}
+
+// checkFairnessGate enforces -fairness-gate against ext-fairness's flooded
+// fair scenario (x=2): the well-behaved tenants must keep at least the gate
+// fraction of their no-flood goodput, and split it with a Jain index at or
+// above the gate. The figure is simulated (deterministic, no wall-clock
+// noise), so a miss is a real isolation regression, never runner jitter.
+func checkFairnessGate(fig *experiments.Figure, gate float64) error {
+	if gate <= 0 {
+		return nil
+	}
+	for i := range fig.X {
+		if fig.X[i] != 2 {
+			continue
+		}
+		ratio, err := fig.Get("ratio", i)
+		if err != nil {
+			return err
+		}
+		jain, err := fig.Get("jain-good", i)
+		if err != nil {
+			return err
+		}
+		if ratio < gate {
+			return fmt.Errorf("tcb-bench: flooded well-behaved goodput ratio %.3f below gate %.3f", ratio, gate)
+		}
+		if jain < gate {
+			return fmt.Errorf("tcb-bench: flooded well-behaved Jain index %.3f below gate %.3f", jain, gate)
+		}
+		fmt.Fprintf(os.Stderr, "tcb-bench: fairness gate ok: ratio %.3f, jain %.3f (gate %.3f)\n",
+			ratio, jain, gate)
+		return nil
+	}
+	return fmt.Errorf("tcb-bench: ext-fairness has no flooded fair scenario to gate")
 }
 
 // checkQuantizedGate enforces -quantized-gate against ext-quantized's

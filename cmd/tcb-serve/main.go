@@ -13,10 +13,21 @@
 //	tcb-serve -replicas 3 -route least ...    # multi-replica cluster with failover
 //	tcb-serve -quantize ...                   # int8 per-channel quantized projections
 //	tcb-serve -kernel scalar ...              # float32 GEMM kernel escape hatch
+//	tcb-serve -fair -tenants "free:1,premium:4" ...  # weighted fair queueing
 //
-// In HTTP mode the server listens until interrupted:
+// Multi-tenant fairness: -fair turns on the WFQ candidate window and
+// tenant-fair shedding; -tenants provisions tenants (name:weight:rate:burst,
+// see fair.ParseTenants) and makes the demo stream round-robin its traffic
+// over them; -slo-classes overrides the interactive/standard/batch SLO
+// tiers; -bucket-rate/-bucket-burst set the admission token bucket applied
+// to tenants without their own provisioning (HTTP 429 + Retry-After when a
+// bucket runs dry). With -fair absent the server runs the original single
+// global pool — tenant tags then only affect accounting, not scheduling.
 //
-//	POST /v1/infer {"tokens": [5,6,7], "deadline_ms": 500}
+// In HTTP mode the server listens until interrupted (tag requests with the
+// X-Tenant header; pick an SLO class per request with "class"):
+//
+//	POST /v1/infer {"tokens": [5,6,7], "deadline_ms": 500, "class": "interactive"}
 //	GET  /v1/stats
 //	GET  /healthz
 //	GET  /v1/replicas   (cluster mode only)
@@ -39,9 +50,12 @@ import (
 	"sync"
 	"time"
 
+	"sort"
+
 	"tcb/internal/batch"
 	"tcb/internal/cluster"
 	"tcb/internal/engine"
+	"tcb/internal/fair"
 	"tcb/internal/model"
 	"tcb/internal/rng"
 	"tcb/internal/sched"
@@ -77,6 +91,11 @@ func main() {
 	respawnDeadline := flag.Duration("respawn-deadline", 2*time.Second, "bound on a wedged replica's drain before it is torn down")
 	kernelName := flag.String("kernel", "wide", "float32 GEMM kernel: scalar, wide, or int8 (wide float32 + quantized projections)")
 	quantize := flag.Bool("quantize", false, "serve through int8 per-channel quantized projections (bounded-error, opt-in)")
+	fairOn := flag.Bool("fair", false, "weighted fair queueing across tenants (off = original single global pool)")
+	tenantsSpec := flag.String("tenants", "", "tenant provisioning name[:weight[:rate[:burst]]],...; the demo stream round-robins over them")
+	classesSpec := flag.String("slo-classes", "", "SLO class overrides name:weight:deadline,... (default interactive/standard/batch tiers)")
+	bucketRate := flag.Float64("bucket-rate", 0, "default admission bucket refill (request tokens/s) for tenants without their own (0 = unlimited)")
+	bucketBurst := flag.Float64("bucket-burst", 0, "default admission bucket capacity in request tokens (0 = the rate)")
 	flag.Parse()
 
 	kernel, err := tensor.ParseKernel(*kernelName)
@@ -119,6 +138,33 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+
+	// Fairness configuration shared by both modes. The limiter is attached
+	// at whichever HTTP front exists (server or cluster), never to cluster
+	// replicas — internal resubmissions must not be double-charged.
+	tenantCfgs, err := fair.ParseTenants(*tenantsSpec)
+	if err != nil {
+		fail(err)
+	}
+	var registry *fair.Registry
+	if len(tenantCfgs) > 0 || *bucketRate > 0 || *bucketBurst > 0 {
+		registry = fair.NewRegistry(tenantCfgs...)
+		registry.DefaultRate = *bucketRate
+		registry.DefaultBurst = *bucketBurst
+	}
+	var classes *fair.ClassSet
+	if *classesSpec != "" {
+		if classes, err = fair.ParseClasses(*classesSpec); err != nil {
+			fail(err)
+		}
+	}
+	var limiter *fair.Limiter
+	if registry != nil {
+		limiter = fair.NewLimiter(registry)
+	}
+	// demoTenants is the round-robin rotation the demo stream tags its
+	// requests with; empty means untagged traffic.
+	demoTenants := registry.Names()
 
 	cfg := model.Config{
 		VocabSize: 256, DModel: *dmodel, NumHeads: 4, DFF: 2 * *dmodel,
@@ -174,6 +220,14 @@ func main() {
 			Pipeline:         *pipeline,
 			ReserveCores:     *reserve,
 			Refill:           *refill,
+			Fair:             *fairOn,
+			Registry:         registry,
+			Classes:          classes,
+		}
+		if *replicas <= 1 {
+			// Single-server mode: this server IS the HTTP front, so it
+			// carries the admission limiter. Cluster replicas never do.
+			srvCfg.Limiter = limiter
 		}
 		if *batchTimeout > 0 {
 			// A fixed budget: the Config-level PredictBatch hook exists for
@@ -208,6 +262,8 @@ func main() {
 			n: *n, rate: *rate, deadline: *deadline, seed: *seed,
 			httpAddr: *httpAddr, vocabSize: cfg.VocabSize,
 			scheduler: scheduler, scheme: scheme,
+			limiter: limiter, classes: classes,
+			tenants: demoTenants, fairOn: *fairOn,
 		})
 		return
 	}
@@ -248,7 +304,11 @@ func main() {
 		for j := range tokens {
 			tokens[j] = src.IntRange(vocab.FirstWordID, cfg.VocabSize-1)
 		}
-		ch, err := srv.Submit(tokens, *deadline)
+		var opt serve.SubmitOptions
+		if len(demoTenants) > 0 {
+			opt.Tenant = demoTenants[i%len(demoTenants)]
+		}
+		ch, err := srv.SubmitOpts(tokens, *deadline, opt)
 		if err != nil {
 			rejected++
 			continue
@@ -299,6 +359,11 @@ func main() {
 		fmt.Printf("refill: admitted=%d retired-early=%d occupancy=%.0f%% slot-idle-steps=%d\n",
 			st.RefillsAdmitted, st.SegmentsRetiredEarly, st.BatchOccupancyPct, st.SlotIdleSteps)
 	}
+	if *fairOn || len(demoTenants) > 0 {
+		fmt.Printf("fairness: wfq=%v jain=%.3f\n", st.FairEnabled, st.JainGoodput)
+		printTenantTable(st.Tenants)
+		printClassP99(st.ClassP99MS)
+	}
 	if chaos != nil {
 		c := chaos.Counts()
 		fmt.Printf("chaos injected: errs=%d panics=%d slows=%d lost=%d kills=%d wedges=%d\n",
@@ -334,6 +399,10 @@ type clusterMode struct {
 	vocabSize       int
 	scheduler       sched.Scheduler
 	scheme          batch.Scheme
+	limiter         *fair.Limiter
+	classes         *fair.ClassSet
+	tenants         []string
+	fairOn          bool
 }
 
 // runClusterMode fronts N replicas with the cluster router and replays the
@@ -372,6 +441,8 @@ func runClusterMode(cm clusterMode) {
 		MaxLen:          100, // the servers' L
 		StallTimeout:    cm.stallTimeout,
 		RespawnDeadline: cm.respawnDeadline,
+		Limiter:         cm.limiter, // cluster front owns admission
+		Classes:         cm.classes,
 	})
 	if err != nil {
 		fail(err)
@@ -405,7 +476,11 @@ func runClusterMode(cm clusterMode) {
 		for j := range tokens {
 			tokens[j] = src.IntRange(vocab.FirstWordID, cm.vocabSize-1)
 		}
-		ch, err := c.Submit(tokens, cm.deadline)
+		var opt serve.SubmitOptions
+		if len(cm.tenants) > 0 {
+			opt.Tenant = cm.tenants[i%len(cm.tenants)]
+		}
+		ch, err := c.SubmitOpts(tokens, cm.deadline, opt)
 		if err != nil {
 			rejected++
 			continue
@@ -453,6 +528,10 @@ func runClusterMode(cm clusterMode) {
 		fmt.Printf("chaos injected: errs=%d panics=%d slows=%d lost=%d kills=%d wedges=%d\n",
 			counts.Errs, counts.Panics, counts.Slows, counts.Lost, counts.Kills, counts.Wedges)
 	}
+	if cm.fairOn || len(cm.tenants) > 0 {
+		fmt.Printf("fairness: jain=%.3f\n", st.JainGoodput)
+		printTenantTable(st.Tenants)
+	}
 
 	// The zero-lost invariant, counter-verified: every accepted request got
 	// exactly one terminal outcome.
@@ -477,6 +556,37 @@ func runClusterMode(cm clusterMode) {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// printTenantTable prints one line per tenant, sorted by name.
+func printTenantTable(tenants map[string]serve.TenantStats) {
+	names := make([]string, 0, len(tenants))
+	for name := range tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := tenants[name]
+		fmt.Printf("  tenant %s: admitted=%d throttled=%d delivered=%d missed=%d failed=%d shed=%d\n",
+			name, ts.Admitted, ts.Throttled, ts.Delivered, ts.Missed, ts.Failed, ts.Shed)
+	}
+}
+
+// printClassP99 prints the per-SLO-class delivered-latency tails.
+func printClassP99(p99 map[string]float64) {
+	if len(p99) == 0 {
+		return
+	}
+	names := make([]string, 0, len(p99))
+	for name := range p99 {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("  class p99 ms:")
+	for _, name := range names {
+		fmt.Printf(" %s=%.1f", name, p99[name])
+	}
+	fmt.Println()
 }
 
 func fail(err error) {

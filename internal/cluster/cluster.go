@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tcb/internal/fair"
 	"tcb/internal/serve"
 )
 
@@ -118,6 +119,16 @@ type Config struct {
 	// RespawnDeadline bounds the drain phase of a respawn; past it the old
 	// server is torn down regardless. Zero means 2s.
 	RespawnDeadline time.Duration
+
+	// Limiter is the cluster-level token-bucket admission front, enforced by
+	// the HTTP handler before any replica sees the request (replica servers
+	// should NOT carry their own limiter — failover resubmissions must not be
+	// double-charged). Nil admits everything.
+	Limiter *fair.Limiter
+	// Classes resolves SLO class deadline defaults for SubmitOpts calls that
+	// pass no deadline. Nil means fair.DefaultClasses. Replica servers should
+	// be configured with the same set.
+	Classes *fair.ClassSet
 }
 
 // handle is one generation of a replica's server. Respawn swaps a fresh
@@ -249,6 +260,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.RespawnDeadline <= 0 {
 		cfg.RespawnDeadline = 2 * time.Second
 	}
+	if cfg.Classes == nil {
+		cfg.Classes = fair.DefaultClasses()
+	}
 
 	c := &Cluster{
 		cfg:         cfg,
@@ -285,10 +299,13 @@ func (c *Cluster) Start() {
 }
 
 // flight is one accepted submission moving through (possibly several)
-// replica attempts until a terminal outcome.
+// replica attempts until a terminal outcome. opt (tenant, SLO class) rides
+// along so every failover attempt carries the same identity — a resubmitted
+// request lands in the next replica's fair queue under its own tenant.
 type flight struct {
 	id       int64
 	tokens   []int
+	opt      serve.SubmitOptions
 	queued   time.Time
 	deadline time.Time
 	out      chan serve.Response
@@ -301,12 +318,23 @@ type flight struct {
 // after the failover budget is spent. A synchronous error means no replica
 // accepted the request (it was never enqueued anywhere).
 func (c *Cluster) Submit(tokens []int, deadline time.Duration) (<-chan serve.Response, error) {
+	return c.SubmitOpts(tokens, deadline, serve.SubmitOptions{})
+}
+
+// SubmitOpts is Submit with tenant identity and an SLO class attached; both
+// survive routing and failover.
+func (c *Cluster) SubmitOpts(tokens []int, deadline time.Duration, opt serve.SubmitOptions) (<-chan serve.Response, error) {
 	select {
 	case <-c.stop:
 		return nil, serve.ErrServerClosed
 	default:
 	}
-	r, h, ch, err := c.trySubmit(tokens, deadline, nil)
+	if deadline <= 0 && opt.Class != "" {
+		// Resolve the class's deadline default here so the flight's own
+		// failover deadline matches what the replica applies.
+		deadline = c.cfg.Classes.Lookup(opt.Class).Deadline
+	}
+	r, h, ch, err := c.trySubmit(tokens, deadline, opt, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -314,6 +342,7 @@ func (c *Cluster) Submit(tokens []int, deadline time.Duration) (<-chan serve.Res
 	f := &flight{
 		id:       c.nextID.Add(1),
 		tokens:   tokens,
+		opt:      opt,
 		queued:   now,
 		deadline: now.Add(deadline),
 		out:      make(chan serve.Response, 1),
@@ -331,7 +360,7 @@ func (c *Cluster) Submit(tokens []int, deadline time.Duration) (<-chan serve.Res
 // a failover lands somewhere new when anywhere new will take it. A
 // non-retryable submit error (validation: empty or too long) returns
 // immediately — no replica with the same config would accept it either.
-func (c *Cluster) trySubmit(tokens []int, deadline time.Duration, tried map[int]bool) (*replica, *handle, <-chan serve.Response, error) {
+func (c *Cluster) trySubmit(tokens []int, deadline time.Duration, opt serve.SubmitOptions, tried map[int]bool) (*replica, *handle, <-chan serve.Response, error) {
 	cands := c.order(len(tokens))
 	lastErr := error(ErrNoReplicas)
 	for pass := 0; pass < 2; pass++ {
@@ -339,7 +368,7 @@ func (c *Cluster) trySubmit(tokens []int, deadline time.Duration, tried map[int]
 			if tried[cand.r.idx] != (pass == 1) {
 				continue
 			}
-			ch, err := cand.h.srv.Submit(tokens, deadline)
+			ch, err := cand.h.srv.SubmitOpts(tokens, deadline, opt)
 			if err == nil {
 				cand.h.cost.Add(int64(len(tokens)))
 				return cand.r, cand.h, ch, nil
@@ -400,7 +429,7 @@ func (c *Cluster) forward(f *flight, r *replica, h *handle, ch <-chan serve.Resp
 			c.deliver(f, resp)
 			return
 		}
-		nr, nh, nch, err := c.trySubmit(f.tokens, time.Until(f.deadline), f.tried)
+		nr, nh, nch, err := c.trySubmit(f.tokens, time.Until(f.deadline), f.opt, f.tried)
 		if err != nil {
 			// Nowhere to fail over to; the engine error is the outcome.
 			c.deliver(f, resp)
@@ -504,6 +533,12 @@ type Stats struct {
 	Respawns      int64 `json:"respawns"`       // completed replica respawns
 	ProbeFailures int64 `json:"probe_failures"` // failed synthetic probes
 
+	// Tenants sums each tenant's terminal outcomes across replicas, with
+	// the cluster-level limiter's throttle counts folded in; JainGoodput is
+	// Jain's index over the summed per-tenant deliveries.
+	Tenants     map[string]serve.TenantStats `json:"tenants,omitempty"`
+	JainGoodput float64                      `json:"jain_goodput"`
+
 	Replicas []ReplicaStats `json:"replicas"`
 }
 
@@ -543,7 +578,41 @@ func (c *Cluster) Stats() Stats {
 			Stats:      r.h.srv.Stats(),
 		})
 	}
+	st.Tenants, st.JainGoodput = c.tenantTotals(st.Replicas)
 	return st
+}
+
+// tenantTotals sums per-tenant outcomes across replica rows and folds in
+// the cluster limiter's throttles. Per-replica Throttled is ignored —
+// replicas carry no limiter of their own; admission control happens once,
+// at this front.
+func (c *Cluster) tenantTotals(rows []ReplicaStats) (map[string]serve.TenantStats, float64) {
+	lim := c.cfg.Limiter.Counts()
+	total := make(map[string]serve.TenantStats)
+	for _, row := range rows {
+		for name, t := range row.Stats.Tenants {
+			agg := total[name]
+			agg.Admitted += t.Admitted
+			agg.Delivered += t.Delivered
+			agg.Missed += t.Missed
+			agg.Failed += t.Failed
+			agg.Shed += t.Shed
+			total[name] = agg
+		}
+	}
+	for name, cnt := range lim {
+		agg := total[name]
+		agg.Throttled = cnt.Throttled
+		total[name] = agg
+	}
+	if len(total) == 0 {
+		return nil, 1
+	}
+	goodput := make(map[string]int64, len(total))
+	for name, t := range total {
+		goodput[name] = t.Delivered
+	}
+	return total, fair.JainIndexMap(goodput)
 }
 
 // Health summarizes cluster serviceability for GET /healthz.

@@ -403,7 +403,7 @@ func TestAllEjectedDegradesToShedding(t *testing.T) {
 		srv, err := testServe(&echoRunner{fail: true}, func(cfg *serve.Config) {
 			cfg.BreakerThreshold = 1
 			cfg.BreakerCooldown = time.Hour // latch open
-			cfg.QueueCap = 8               // OpenQueueCap = 1
+			cfg.QueueCap = 8                // OpenQueueCap = 1
 			cfg.Retry = serve.RetryPolicy{MaxAttempts: 1, Backoff: time.Millisecond}
 		})
 		return srv, nil, err

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tcb/internal/fair"
+	"tcb/internal/serve"
+)
+
+// TestFailoverPreservesTenant: a request failing over to another replica
+// must arrive there under the same tenant and SLO class — otherwise a
+// failover would launder a flooding tenant's traffic into the default
+// tenant's share on the next replica.
+func TestFailoverPreservesTenant(t *testing.T) {
+	runners := []*echoRunner{{fail: true}, {}}
+	c, err := New(Config{
+		Replicas: 2,
+		Spawn: func(i int) (*serve.Server, func(), error) {
+			srv, err := testServe(runners[i], func(cfg *serve.Config) { cfg.Fair = true })
+			return srv, nil, err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	ch, err := c.SubmitOpts(tokens(4), 10*time.Second,
+		serve.SubmitOptions{Tenant: "alpha", Class: fair.ClassInteractive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := <-ch; resp.Err != nil {
+		t.Fatalf("failover did not rescue the request: %v", resp.Err)
+	}
+	st := c.Stats()
+	if st.Failovers < 1 {
+		t.Fatalf("failovers = %d, want at least 1", st.Failovers)
+	}
+	if st.Tenants["alpha"].Delivered != 1 {
+		t.Fatalf("alpha delivered = %+v across cluster", st.Tenants)
+	}
+	// The healthy replica must have served it under the tenant's name.
+	served := st.Replicas[1].Stats.Tenants["alpha"]
+	if served.Delivered != 1 {
+		t.Fatalf("replica 1 tenant rows = %+v", st.Replicas[1].Stats.Tenants)
+	}
+}
+
+// TestClusterHTTPTenantThrottle: the cluster front's token bucket refuses a
+// tenant over budget with 429 + Retry-After and records the throttle in the
+// aggregated tenant stats.
+func TestClusterHTTPTenantThrottle(t *testing.T) {
+	reg := fair.NewRegistry(fair.TenantConfig{Name: "meter", BucketRate: 1, BucketBurst: 5})
+	c, err := New(Config{Replicas: 2, Spawn: echoSpawn(nil), Limiter: fair.NewLimiter(reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHTTPHandler(c))
+	t.Cleanup(func() { ts.Close(); c.Stop() })
+
+	post := func(tenant string) *http.Response {
+		body, _ := json.Marshal(serve.InferRequest{Tokens: tokens(5), DeadlineMS: 5000})
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/infer", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(serve.TenantHeader, tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post("meter"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d", resp.StatusCode)
+	}
+	resp := post("meter")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("drained bucket: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	st := c.Stats()
+	if st.Tenants["meter"].Throttled != 1 || st.Tenants["meter"].Delivered != 1 {
+		t.Fatalf("aggregated tenant rows = %+v", st.Tenants)
+	}
+}

@@ -41,10 +41,25 @@ func NewHTTPHandler(c *Cluster) http.Handler {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
 			return
 		}
-		if req.DeadlineMS <= 0 {
+		if req.DeadlineMS <= 0 && req.Class == "" {
 			req.DeadlineMS = 1000
 		}
-		ch, err := c.Submit(req.Tokens, time.Duration(req.DeadlineMS)*time.Millisecond)
+		// Same front contract as the single-server handler: tenant identity
+		// on X-Tenant, token-bucket admission before any replica is touched
+		// (failover resubmissions inside the cluster are not re-charged).
+		tenant := r.Header.Get(serve.TenantHeader)
+		if ok, retry := c.cfg.Limiter.Take(tenant, len(req.Tokens)); !ok {
+			secs := int64((retry + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+			writeErr(w, http.StatusTooManyRequests,
+				fmt.Errorf("cluster: tenant admission rate exceeded, retry in %s", retry))
+			return
+		}
+		ch, err := c.SubmitOpts(req.Tokens, time.Duration(req.DeadlineMS)*time.Millisecond,
+			serve.SubmitOptions{Tenant: tenant, Class: req.Class})
 		if err != nil {
 			status := http.StatusBadRequest
 			if errors.Is(err, serve.ErrQueueFull) {

@@ -40,6 +40,7 @@ func All(opt Options) []Runner {
 		{"ext-refill", func() (*Figure, error) { return ExtRefill(opt) }},
 		{"ext-cluster", func() (*Figure, error) { return ExtCluster(opt) }},
 		{"ext-quantized", func() (*Figure, error) { return ExtQuantized(opt) }},
+		{"ext-fairness", func() (*Figure, error) { return ExtFairness(opt) }},
 		{"ablation-packing", func() (*Figure, error) { return AblationPacking() }},
 	}
 }

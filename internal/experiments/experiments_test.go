@@ -474,6 +474,33 @@ func TestExtWeightedDASProtectsPremium(t *testing.T) {
 	}
 }
 
+// ext-fairness shape: the WFQ window must restore most of the well-behaved
+// tenants' baseline goodput under a 10× flood, and split it evenly, while
+// the tenant-blind pool must visibly starve them.
+func TestExtFairnessIsolatesFlood(t *testing.T) {
+	fig, err := ExtFairness(Options{Duration: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfairRatio, _ := fig.Get("ratio", 1)
+	fairRatio, _ := fig.Get("ratio", 2)
+	fairJain, _ := fig.Get("jain-good", 2)
+	if fairRatio < 0.9 {
+		t.Fatalf("fair flood ratio %v below the 0.9 gate", fairRatio)
+	}
+	if fairJain < 0.9 {
+		t.Fatalf("fair flood jain %v below the 0.9 gate", fairJain)
+	}
+	if unfairRatio > 0.8*fairRatio {
+		t.Fatalf("tenant-blind pool should starve good tenants: unfair %v vs fair %v",
+			unfairRatio, fairRatio)
+	}
+	baseline, _ := fig.Get("ratio", 0)
+	if baseline != 1 {
+		t.Fatalf("baseline ratio must be 1, got %v", baseline)
+	}
+}
+
 func TestMultiSeedAveragingDiffers(t *testing.T) {
 	// Averaging over 2 seeds must produce values between single-seed runs
 	// (exactly their mean) — catch accidental seed reuse.

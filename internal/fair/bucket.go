@@ -1,0 +1,143 @@
+package fair
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket: capacity Burst tokens, refilled at Rate tokens
+// per second. Take is lazy-refill (no background goroutine) and returns
+// how long the caller should wait before retrying when it refuses — the
+// HTTP front turns that into a 429 with Retry-After.
+type Bucket struct {
+	rate  float64
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+// NewBucket builds a full bucket. Rate <= 0 means unlimited (Take always
+// succeeds); burst <= 0 defaults to one second of rate (at least 1).
+func NewBucket(rate, burst float64) *Bucket {
+	if burst <= 0 {
+		burst = math.Max(rate, 1)
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+}
+
+// Take attempts to draw n tokens. It returns ok=true when the bucket had
+// them; otherwise retryAfter estimates when n tokens will have refilled
+// (never less than a millisecond, so clients cannot busy-spin on a zero).
+func (b *Bucket) Take(n float64) (ok bool, retryAfter time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	if n <= 0 {
+		n = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	need := n
+	if need > b.burst {
+		need = b.burst // a request larger than the burst refills to full, at best
+	}
+	wait := time.Duration((need - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// Limiter keys token buckets by tenant, provisioning them from a Registry
+// on first sight, and counts per-tenant admission outcomes.
+type Limiter struct {
+	registry *Registry
+
+	mu      sync.Mutex
+	buckets map[string]*Bucket
+	counts  map[string]*AdmissionCounts
+}
+
+// AdmissionCounts is one tenant's admission-control tally.
+type AdmissionCounts struct {
+	Allowed   int64 `json:"allowed"`
+	Throttled int64 `json:"throttled"`
+}
+
+// NewLimiter builds a limiter over the registry's bucket provisioning.
+// A nil registry limits nothing (every Take succeeds).
+func NewLimiter(registry *Registry) *Limiter {
+	return &Limiter{
+		registry: registry,
+		buckets:  make(map[string]*Bucket),
+		counts:   make(map[string]*AdmissionCounts),
+	}
+}
+
+// Take draws cost tokens from the tenant's bucket, creating it on first
+// sight with the tenant's provisioned (or default) rate and burst.
+func (l *Limiter) Take(tenant string, cost int) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	l.mu.Lock()
+	b := l.buckets[tenant]
+	if b == nil {
+		cfg := l.registry.Lookup(tenant)
+		rate := cfg.BucketRate
+		if rate < 0 {
+			rate = 0 // negative = explicitly unlimited
+		}
+		b = NewBucket(rate, cfg.BucketBurst)
+		l.buckets[tenant] = b
+	}
+	c := l.counts[tenant]
+	if c == nil {
+		c = &AdmissionCounts{}
+		l.counts[tenant] = c
+	}
+	l.mu.Unlock()
+
+	ok, retryAfter = b.Take(float64(cost))
+	l.mu.Lock()
+	if ok {
+		c.Allowed++
+	} else {
+		c.Throttled++
+	}
+	l.mu.Unlock()
+	return ok, retryAfter
+}
+
+// Counts snapshots the per-tenant admission tallies.
+func (l *Limiter) Counts() map[string]AdmissionCounts {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]AdmissionCounts, len(l.counts))
+	for k, v := range l.counts {
+		out[k] = *v
+	}
+	return out
+}

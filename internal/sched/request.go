@@ -25,6 +25,11 @@ type Request struct {
 	// competitive bound is proven for the unweighted case; with weights
 	// DAS remains a well-defined heuristic but carries no guarantee.
 	Weight float64
+	// Tenant identifies who submitted the request; the fairness layer
+	// (package fair) isolates tenants from each other. Empty means the
+	// default tenant. Schedulers themselves are tenant-blind — isolation
+	// happens in the candidate pool they are handed.
+	Tenant string
 }
 
 // Utility returns vₙ = wₙ/lₙ — §5.1's vₙ = 1/lₙ generalized with the SLA

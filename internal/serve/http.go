@@ -14,8 +14,12 @@ type InferRequest struct {
 	// vocab package). Required.
 	Tokens []int `json:"tokens"`
 	// DeadlineMS is the scheduling deadline in milliseconds from receipt.
-	// Defaults to 1000.
+	// Zero defers to the SLO class default when Class is set, else 1000.
 	DeadlineMS int `json:"deadline_ms"`
+	// Class is the request's SLO class ("interactive", "standard", "batch",
+	// or whatever the server was configured with). Empty means unclassed:
+	// weight 1, no deadline default.
+	Class string `json:"class,omitempty"`
 }
 
 // InferResponse is the JSON body returned by POST /v1/infer.
@@ -63,10 +67,21 @@ func NewHTTPHandler(srv *Server) http.Handler {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
 			return
 		}
-		if req.DeadlineMS <= 0 {
+		if req.DeadlineMS <= 0 && req.Class == "" {
 			req.DeadlineMS = 1000
 		}
-		ch, err := srv.Submit(req.Tokens, time.Duration(req.DeadlineMS)*time.Millisecond)
+		// Tenant identity rides the X-Tenant header (empty = default
+		// tenant); the token-bucket admission front charges by input length
+		// before the request touches the queue.
+		tenant := r.Header.Get(TenantHeader)
+		if ok, retry := srv.cfg.Limiter.Take(tenant, len(req.Tokens)); !ok {
+			w.Header().Set("Retry-After", retryAfterSeconds(retry))
+			writeErr(w, http.StatusTooManyRequests,
+				fmt.Errorf("serve: tenant admission rate exceeded, retry in %s", retry))
+			return
+		}
+		ch, err := srv.SubmitOpts(req.Tokens, time.Duration(req.DeadlineMS)*time.Millisecond,
+			SubmitOptions{Tenant: tenant, Class: req.Class})
 		if err != nil {
 			status := http.StatusBadRequest
 			if errors.Is(err, ErrQueueFull) {
@@ -117,6 +132,20 @@ func NewHTTPHandler(srv *Server) http.Handler {
 		writeJSON(w, status, h)
 	})
 	return mux
+}
+
+// TenantHeader is the HTTP header carrying tenant identity into /v1/infer
+// (both the single-server and cluster fronts honour it).
+const TenantHeader = "X-Tenant"
+
+// retryAfterSeconds renders a Retry-After value in whole seconds, rounded
+// up (the header does not speak milliseconds).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

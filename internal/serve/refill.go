@@ -69,10 +69,12 @@ func (h *refillHook) Retire(res engine.Result) {
 	}
 	h.delivered[res.ID] = true
 	h.mu.Unlock()
-	p.out <- Response{ID: res.ID, Output: res.Output, Queued: p.queued, Served: time.Now()}
+	served := time.Now()
+	p.out <- Response{ID: res.ID, Output: res.Output, Queued: p.queued, Served: served}
 	s := h.s
 	s.mu.Lock()
 	s.served++
+	s.noteDeliveredLocked(p, served)
 	s.mu.Unlock()
 	s.notify() // Drain watches for progress
 }
@@ -80,9 +82,11 @@ func (h *refillHook) Retire(res engine.Result) {
 // Refill picks queued requests for the launch's freed token capacity:
 // highest utility first (deadline, then ID breaking ties — the DAS ordering
 // the scheduler itself uses), skipping requests still backing off and
-// requests whose deadlines already passed. Chosen requests leave the queue
-// exactly like a scheduled selection; requeue paths (Reject, batch failure)
-// keep their original arrival times and attempt counters.
+// requests whose deadlines already passed. With the fairness layer on the
+// draw is in WFQ virtual-finish order instead, so mid-flight admission
+// cannot become a side door around tenant isolation. Chosen requests leave
+// the queue exactly like a scheduled selection; requeue paths (Reject,
+// batch failure) keep their original arrival times and attempt counters.
 func (h *refillHook) Refill(free int) []engine.Admission {
 	if free <= 0 {
 		return nil
@@ -108,16 +112,25 @@ func (h *refillHook) Refill(free int) []engine.Admission {
 		s.mu.Unlock()
 		return nil
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		ri, rj := cands[i].req, cands[j].req
-		if ui, uj := ri.Utility(), rj.Utility(); ui != uj {
-			return ui > uj
-		}
-		if ri.Deadline != rj.Deadline {
-			return ri.Deadline < rj.Deadline
-		}
-		return ri.ID < rj.ID
-	})
+	if s.wfq != nil {
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].vfinish != cands[j].vfinish {
+				return cands[i].vfinish < cands[j].vfinish
+			}
+			return cands[i].req.ID < cands[j].req.ID
+		})
+	} else {
+		sort.Slice(cands, func(i, j int) bool {
+			ri, rj := cands[i].req, cands[j].req
+			if ui, uj := ri.Utility(), rj.Utility(); ui != uj {
+				return ui > uj
+			}
+			if ri.Deadline != rj.Deadline {
+				return ri.Deadline < rj.Deadline
+			}
+			return ri.ID < rj.ID
+		})
+	}
 	budget := free
 	chosen := cands[:0]
 	for _, p := range cands {
@@ -127,6 +140,7 @@ func (h *refillHook) Refill(free int) []engine.Admission {
 		budget -= p.req.Len
 		chosen = append(chosen, p)
 		delete(s.queue, p.req.ID)
+		s.wfqRelease(p, true)
 	}
 	s.mu.Unlock()
 

@@ -26,6 +26,7 @@ import (
 
 	"tcb/internal/batch"
 	"tcb/internal/engine"
+	"tcb/internal/fair"
 	"tcb/internal/sched"
 	"tcb/internal/tensor"
 )
@@ -162,6 +163,37 @@ type Config struct {
 	// TimeoutSlack). Nil derives it from PredictBatch over a one-item batch,
 	// so the watchdog keeps tracking the batch's composition as it changes.
 	PredictAdmission func(lenTokens int) time.Duration
+
+	// Fair enables the multi-tenant fairness layer (package fair): requests
+	// are stamped with WFQ virtual finish times at submission, the scheduler
+	// draws its candidates in WFQ order truncated to FairWindow, and
+	// breaker-open shedding evicts within the tenant most over its weighted
+	// share instead of globally. Off (the default) keeps the scheduler's
+	// global candidate pool and global lowest-utility shedding exactly as
+	// before — the escape hatch the fairness tests pin down.
+	Fair bool
+	// FairWindow caps how many WFQ-ordered candidates the scheduler sees per
+	// round when Fair is set. The window is the isolation lever: DAS itself
+	// is tenant-blind, so a flooding tenant is contained by never letting its
+	// excess into the candidate set ahead of other tenants' heads. Zero means
+	// 4×B (at least 16). Ignored when Fair is off.
+	FairWindow int
+	// Registry resolves tenant WFQ weights and bucket provisioning. Nil
+	// means every tenant weighs 1 (buckets unlimited).
+	Registry *fair.Registry
+	// Classes maps SLO class names (SubmitOptions.Class) to SLA weights and
+	// deadline defaults. Nil means fair.DefaultClasses.
+	Classes *fair.ClassSet
+	// Limiter is the token-bucket admission front. The server itself never
+	// consults it — enforcement lives at the HTTP boundary so internal
+	// resubmissions (cluster failover, refill requeues) are not double-
+	// charged — but it is carried here so Stats can fold its per-tenant
+	// throttle counts into the tenant table.
+	Limiter *fair.Limiter
+	// PredictRequestCost predicts one request's service demand from its
+	// token length for WFQ stamping (e.g. a cost.Params-derived seconds
+	// estimate). Nil means raw token count — only ratios matter to WFQ.
+	PredictRequestCost func(lenTokens int) float64
 }
 
 // Stats is a point-in-time snapshot of server counters.
@@ -216,6 +248,20 @@ type Stats struct {
 	// FLOPs actually flowed through. Process-wide, not per-server — in a
 	// multi-replica cluster every replica reports the same process totals.
 	Kernels tensor.KernelCounts
+
+	// Tenants breaks terminal outcomes down by tenant (untagged traffic is
+	// the "default" tenant); nil until the first submission. Throttled is
+	// folded in from Config.Limiter when one is attached.
+	Tenants map[string]TenantStats
+	// JainGoodput is Jain's fairness index over per-tenant delivered counts
+	// (1 = perfectly even, 1/n = one tenant taking everything).
+	JainGoodput float64
+	// ClassP99MS is the per-SLO-class P99 queue-to-delivery latency in
+	// milliseconds over a bounded recent window; nil until a classed request
+	// is delivered.
+	ClassP99MS map[string]float64
+	// FairEnabled reports whether the WFQ fairness layer is active.
+	FairEnabled bool
 }
 
 // Response is the outcome of one request.
@@ -262,6 +308,13 @@ type pending struct {
 	// notBefore gates rescheduling until its backoff elapses.
 	attempts  int
 	notBefore float64
+	// class is the request's SLO class name ("" = unclassed); vfinish its
+	// WFQ virtual finish stamp (meaningful only when the server is fair);
+	// stampDone records that the stamp was settled (dispatched or
+	// abandoned) so requeues cannot settle it twice.
+	class     string
+	vfinish   float64
+	stampDone bool
 }
 
 // Server is a running TCB serving instance.
@@ -293,6 +346,16 @@ type Server struct {
 	// fallback.
 	wake chan struct{}
 	base time.Time
+
+	// wfq stamps and orders requests across tenants when Config.Fair is on;
+	// nil otherwise (the global-pool escape hatch). classes is the resolved
+	// SLO class set (never nil).
+	wfq     *fair.WFQ
+	classes *fair.ClassSet
+	// tenantStats and classLat back the per-tenant / per-class Stats
+	// breakdown (guarded by mu).
+	tenantStats map[string]*tenantCounter
+	classLat    map[string]*latRing
 
 	submitted, served, missed, failed, batches int64
 	retried, panics, timeouts, shed            int64
@@ -375,15 +438,34 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Pipeline && cfg.ReserveCores == 0 {
 		cfg.ReserveCores = 1
 	}
+	if cfg.Fair && cfg.FairWindow <= 0 {
+		cfg.FairWindow = 4 * cfg.B
+		if cfg.FairWindow < 16 {
+			cfg.FairWindow = 16
+		}
+	}
+	if cfg.Classes == nil {
+		cfg.Classes = fair.DefaultClasses()
+	}
 
 	s := &Server{
-		cfg:       cfg,
-		queue:     make(map[int64]*pending),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
-		drainDone: make(chan struct{}),
-		wake:      make(chan struct{}, 1),
-		base:      time.Now(),
+		cfg:         cfg,
+		queue:       make(map[int64]*pending),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		drainDone:   make(chan struct{}),
+		wake:        make(chan struct{}, 1),
+		base:        time.Now(),
+		classes:     cfg.Classes,
+		tenantStats: make(map[string]*tenantCounter),
+		classLat:    make(map[string]*latRing),
+	}
+	if cfg.Fair {
+		var weight func(string) float64
+		if cfg.Registry != nil {
+			weight = cfg.Registry.Weight
+		}
+		s.wfq = fair.NewWFQ(cfg.PredictRequestCost, weight)
 	}
 	if cfg.BreakerThreshold > 0 {
 		s.breaker = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
@@ -490,10 +572,28 @@ func (s *Server) drainLoop() {
 	s.Stop()
 }
 
+// SubmitOptions carries a submission's identity beyond its tokens and
+// deadline. The zero value is an untagged, unclassed request — exactly what
+// the plain Submit produces.
+type SubmitOptions struct {
+	// Tenant names who is submitting ("" = the default tenant). With
+	// Config.Fair set it determines the request's WFQ queue and shed group.
+	Tenant string
+	// Class is the request's SLO class ("" = unclassed): its weight feeds
+	// sched.Request.Utility and, when the deadline argument is <= 0, its
+	// deadline default applies.
+	Class string
+}
+
 // Submit enqueues a request that must be scheduled within the given
 // deadline from now. The response arrives on the returned channel exactly
 // once.
 func (s *Server) Submit(tokens []int, deadline time.Duration) (<-chan Response, error) {
+	return s.SubmitOpts(tokens, deadline, SubmitOptions{})
+}
+
+// SubmitOpts is Submit with tenant identity and an SLO class attached.
+func (s *Server) SubmitOpts(tokens []int, deadline time.Duration, opt SubmitOptions) (<-chan Response, error) {
 	if len(tokens) == 0 {
 		return nil, fmt.Errorf("serve: empty request")
 	}
@@ -519,6 +619,14 @@ func (s *Server) Submit(tokens []int, deadline time.Duration) (<-chan Response, 
 	if s.breaker != nil && s.breaker.State() == BreakerOpen && len(s.queue) >= s.cfg.OpenQueueCap {
 		return nil, ErrBreakerOpen
 	}
+	var weight float64
+	if opt.Class != "" {
+		cls := s.classes.Lookup(opt.Class)
+		weight = cls.Weight
+		if deadline <= 0 {
+			deadline = cls.Deadline
+		}
+	}
 	s.next++
 	id := s.next
 	now := s.clock()
@@ -528,13 +636,20 @@ func (s *Server) Submit(tokens []int, deadline time.Duration) (<-chan Response, 
 			Arrival:  now,
 			Deadline: now + deadline.Seconds(),
 			Len:      len(tokens),
+			Weight:   weight,
+			Tenant:   opt.Tenant,
 		},
 		tokens: tokens,
 		out:    make(chan Response, 1),
 		queued: time.Now(),
+		class:  opt.Class,
+	}
+	if s.wfq != nil {
+		p.vfinish = s.wfq.Stamp(tenantOf(p), len(tokens))
 	}
 	s.queue[id] = p
 	s.submitted++
+	s.counterLocked(p).admitted++
 	s.notify()
 	return p.out, nil
 }
@@ -562,7 +677,7 @@ func (s *Server) Stats() Stats {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Submitted:     s.submitted,
 		Served:        s.served,
 		Missed:        s.missed,
@@ -588,7 +703,11 @@ func (s *Server) Stats() Stats {
 		BatchOccupancyPct:    occupancy,
 		Refilling:            s.refiller != nil,
 		Kernels:              tensor.KernelCounters(),
+		FairEnabled:          s.wfq != nil,
 	}
+	st.Tenants, st.JainGoodput = s.tenantStatsLocked()
+	st.ClassP99MS = s.classP99Locked()
+	return st
 }
 
 // Health is a point-in-time serviceability summary — the body behind
@@ -720,6 +839,8 @@ func (s *Server) selectBatch() *launch {
 			p.out <- Response{ID: p.req.ID, Err: ErrDeadlineExceeded, Queued: p.queued}
 			delete(s.queue, p.req.ID)
 			s.missed++
+			s.counterLocked(p).missed++
+			s.wfqRelease(p, false)
 		}
 	}
 	if state == BreakerOpen {
@@ -736,11 +857,15 @@ func (s *Server) selectBatch() *launch {
 		return nil
 	}
 	var pool []*sched.Request
-	for _, p := range s.queue {
-		if p.notBefore > now {
-			continue // backing off after a failed batch
+	if s.wfq != nil {
+		pool = s.fairPoolLocked(now)
+	} else {
+		for _, p := range s.queue {
+			if p.notBefore > now {
+				continue // backing off after a failed batch
+			}
+			pool = append(pool, p.req)
 		}
-		pool = append(pool, p.req)
 	}
 	if len(pool) == 0 {
 		s.mu.Unlock()
@@ -766,6 +891,7 @@ func (s *Server) selectBatch() *launch {
 		selected = append(selected, p)
 		tokens[r.ID] = p.tokens
 		delete(s.queue, r.ID)
+		s.wfqRelease(p, true)
 	}
 	s.inFlight++
 	s.mu.Unlock()
@@ -898,6 +1024,7 @@ func (s *Server) completeBatch(l *launch, rep *engine.Report, err error, served 
 		}
 		okCount++
 		p.out <- Response{ID: p.req.ID, Output: r.Output, Queued: p.queued, Served: served}
+		s.noteDeliveredLocked(p, served)
 	}
 	s.served += okCount
 	s.inFlight--
@@ -959,9 +1086,13 @@ func (s *Server) retireOrRequeueLocked(p *pending, err error, now float64, serve
 	case p.req.Deadline < now:
 		p.out <- Response{ID: p.req.ID, Err: ErrDeadlineExceeded, Queued: p.queued, Served: served}
 		s.missed++
+		s.counterLocked(p).missed++
+		s.wfqRelease(p, false)
 	case p.attempts >= s.cfg.Retry.MaxAttempts:
 		p.out <- Response{ID: p.req.ID, Err: err, Queued: p.queued, Served: served}
 		s.failed++
+		s.counterLocked(p).failed++
+		s.wfqRelease(p, false)
 	default:
 		p.notBefore = now + s.backoff(p.attempts)
 		s.queue[p.req.ID] = p
@@ -969,9 +1100,14 @@ func (s *Server) retireOrRequeueLocked(p *pending, err error, now float64, serve
 	}
 }
 
-// shedLocked evicts the lowest-utility queued requests beyond OpenQueueCap.
-// Callers hold s.mu.
+// shedLocked evicts the lowest-utility queued requests beyond OpenQueueCap —
+// globally when the fairness layer is off (the original behaviour, kept
+// bit-for-bit), tenant-fairly when it is on. Callers hold s.mu.
 func (s *Server) shedLocked() {
+	if s.wfq != nil {
+		s.shedFairLocked()
+		return
+	}
 	excess := len(s.queue) - s.cfg.OpenQueueCap
 	if excess <= 0 {
 		return
@@ -991,6 +1127,7 @@ func (s *Server) shedLocked() {
 		p.out <- Response{ID: p.req.ID, Err: ErrShed, Queued: p.queued}
 		delete(s.queue, p.req.ID)
 		s.shed++
+		s.counterLocked(p).shed++
 	}
 }
 
@@ -1061,5 +1198,7 @@ func (s *Server) failAll(err error) {
 		p.out <- Response{ID: id, Err: err, Queued: p.queued}
 		delete(s.queue, id)
 		s.failed++
+		s.counterLocked(p).failed++
+		s.wfqRelease(p, false)
 	}
 }

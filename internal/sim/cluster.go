@@ -96,6 +96,10 @@ type simReplica struct {
 	inflight []*sched.Request
 	freeAt   float64
 	down     bool
+	// fw is the replica's WFQ state under Template.Fair (nil otherwise).
+	// Each replica clocks its own fairness: a request failing over to a
+	// survivor is re-stamped there, and a recovered replica starts fresh.
+	fw *simWFQ
 }
 
 // pendingTokens is the replica's load for least-loaded routing.
@@ -147,9 +151,12 @@ func RunCluster(cs ClusterSystem, trace []*sched.Request) (*ClusterMetrics, erro
 		Replicas:   cs.Replicas,
 		PerReplica: make([]int, cs.Replicas),
 	}
+	for _, r := range reqs {
+		m.tenant(r).Generated++
+	}
 	reps := make([]*simReplica, cs.Replicas)
 	for i := range reps {
-		reps[i] = &simReplica{}
+		reps[i] = &simReplica{fw: newSimWFQ(sys)}
 	}
 
 	now := 0.0
@@ -198,12 +205,15 @@ func RunCluster(cs ClusterSystem, trace []*sched.Request) (*ClusterMetrics, erro
 		if i < 0 {
 			if req.Deadline < t {
 				m.Expired++
+				m.tenant(req).Expired++
 			} else {
 				m.Shed++
+				m.tenant(req).Shed++
 			}
 			return
 		}
 		reps[i].pool = append(reps[i].pool, req)
+		reps[i].fw.admit(req)
 		if failover {
 			m.Failovers++
 		}
@@ -224,6 +234,7 @@ func RunCluster(cs ClusterSystem, trace []*sched.Request) (*ClusterMetrics, erro
 				r.down = true
 				victims := append(r.pool, r.inflight...)
 				r.pool, r.inflight = nil, nil
+				r.fw = newSimWFQ(sys) // dead clock discarded with the pool
 				r.freeAt = now
 				for _, v := range victims {
 					assign(v, now, true)
@@ -231,6 +242,7 @@ func RunCluster(cs ClusterSystem, trace []*sched.Request) (*ClusterMetrics, erro
 			} else {
 				r.down = false
 				r.pool, r.inflight = nil, nil
+				r.fw = newSimWFQ(sys)
 				r.freeAt = now
 			}
 		}
@@ -251,6 +263,9 @@ func RunCluster(cs ClusterSystem, trace []*sched.Request) (*ClusterMetrics, erro
 				m.Utility += q.Utility()
 				m.Latency.Add(r.freeAt - q.Arrival)
 				m.PerReplica[i]++
+				tm := m.tenant(q)
+				tm.Scheduled++
+				tm.Utility += q.Utility()
 			}
 			r.inflight = nil
 		}
@@ -262,6 +277,10 @@ func RunCluster(cs ClusterSystem, trace []*sched.Request) (*ClusterMetrics, erro
 			}
 			alive, expired, _ := sched.Expire(r.pool, now)
 			m.Expired += len(expired)
+			for _, q := range expired {
+				m.tenant(q).Expired++
+			}
+			r.fw.expire(expired)
 			r.pool = alive
 		}
 
@@ -272,8 +291,9 @@ func RunCluster(cs ClusterSystem, trace []*sched.Request) (*ClusterMetrics, erro
 				continue
 			}
 			m.Backlog.Add(float64(len(r.pool)))
+			cands := r.fw.candidates(r.pool)
 			t0 := time.Now()
-			dec := sys.Scheduler.Schedule(now, r.pool, sys.B, sys.L)
+			dec := sys.Scheduler.Schedule(now, cands, sys.B, sys.L)
 			m.SchedulerWall += time.Since(t0)
 			m.SchedulerRuns++
 			chosen := dec.Chosen()
@@ -304,6 +324,7 @@ func RunCluster(cs ClusterSystem, trace []*sched.Request) (*ClusterMetrics, erro
 				}
 			}
 			r.pool = keep
+			r.fw.dispatched(chosen)
 			r.inflight = chosen
 			r.freeAt = now + elapsed
 		}

@@ -47,6 +47,17 @@ type System struct {
 	// This models the multi-GPU scale-out a production deployment of TCB
 	// would add (the paper evaluates a single V100).
 	Devices int
+	// Fair enables the weighted-fair candidate window: pending requests
+	// are offered to the (tenant-blind) scheduler in WFQ virtual-finish
+	// order, truncated to FairWindow, so one tenant's flood cannot
+	// monopolize the batch. Off preserves the original pool byte-for-byte.
+	Fair bool
+	// FairWindow caps the fair candidate pool; 0 derives 4×B (min 16).
+	// Ignored unless Fair.
+	FairWindow int
+	// FairWeights maps tenant name → WFQ weight; absent tenants weigh 1.
+	// Ignored unless Fair.
+	FairWeights map[string]float64
 }
 
 // Validate reports configuration problems.
@@ -82,6 +93,10 @@ type Metrics struct {
 	// decision; its growth past saturation is the mechanism behind the
 	// paper's flattening throughput curves.
 	Backlog stats.Running
+	// Tenants tallies terminal outcomes per tenant (untagged requests fold
+	// into the default tenant). Populated whether or not System.Fair is on,
+	// so fairness can be measured with and without enforcement.
+	Tenants map[string]*TenantMetrics
 }
 
 // Throughput returns scheduled responses per simulated second.
@@ -110,6 +125,10 @@ func Run(sys System, trace []*sched.Request) (*Metrics, error) {
 	sort.SliceStable(reqs, func(a, b int) bool { return reqs[a].Arrival < reqs[b].Arrival })
 
 	m := &Metrics{System: sys.Name, Generated: len(reqs)}
+	for _, r := range reqs {
+		m.tenant(r).Generated++
+	}
+	fw := newSimWFQ(sys)
 	var pool []*sched.Request
 	next := 0 // next arrival index
 	now := 0.0
@@ -135,10 +154,15 @@ func Run(sys System, trace []*sched.Request) (*Metrics, error) {
 		// Admit arrivals up to the current time.
 		for next < len(reqs) && reqs[next].Arrival <= now {
 			pool = append(pool, reqs[next])
+			fw.admit(reqs[next])
 			next++
 		}
 		alive, expired, _ := sched.Expire(pool, now)
 		m.Expired += len(expired)
+		for _, r := range expired {
+			m.tenant(r).Expired++
+		}
+		fw.expire(expired)
 		pool = alive
 		if len(pool) == 0 {
 			if next >= len(reqs) {
@@ -150,9 +174,11 @@ func Run(sys System, trace []*sched.Request) (*Metrics, error) {
 
 		m.Backlog.Add(float64(len(pool)))
 
-		// Scheduling decision (real wall time recorded for Fig. 16).
+		// Scheduling decision (real wall time recorded for Fig. 16). Under
+		// Fair the scheduler sees the WFQ window instead of the raw pool.
+		cands := fw.candidates(pool)
 		t0 := time.Now()
-		dec := sys.Scheduler.Schedule(now, pool, sys.B, sys.L)
+		dec := sys.Scheduler.Schedule(now, cands, sys.B, sys.L)
 		m.SchedulerWall += time.Since(t0)
 		m.SchedulerRuns++
 
@@ -188,7 +214,11 @@ func Run(sys System, trace []*sched.Request) (*Metrics, error) {
 			m.Scheduled++
 			m.Utility += r.Utility()
 			m.Latency.Add(now + elapsed - r.Arrival)
+			tm := m.tenant(r)
+			tm.Scheduled++
+			tm.Utility += r.Utility()
 		}
+		fw.dispatched(chosen)
 		chosenSet := make(map[int64]bool, len(chosen))
 		for _, r := range chosen {
 			chosenSet[r.ID] = true

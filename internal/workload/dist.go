@@ -161,6 +161,7 @@ func GenerateWithDist(spec Spec, dist LengthDist) ([]*sched.Request, error) {
 			Arrival:  now,
 			Deadline: now + off,
 			Len:      ln,
+			Tenant:   spec.Tenant,
 		})
 		id++
 	}

@@ -18,9 +18,19 @@ func FuzzLoad(f *testing.F) {
 	if err := Save(&good, &spec, reqs); err != nil {
 		f.Fatal(err)
 	}
+	mix, err := GenerateMix(AdversarialMix(20, 0.5, 2, 2, 5))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var mixed bytes.Buffer
+	if err := Save(&mixed, nil, mix); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(good.Bytes())
+	f.Add(mixed.Bytes())
 	f.Add([]byte(`{"requests":[]}`))
 	f.Add([]byte(`{"requests":[{"id":1,"arrival":0,"deadline":1,"len":4,"weight":2}]}`))
+	f.Add([]byte(`{"requests":[{"id":1,"arrival":0,"deadline":1,"len":4,"tenant":"alpha"}]}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(`{"requests":[{"id":1,"arrival":5,"deadline":1,"len":4}]}`))

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"tcb/internal/sched"
+)
+
+// TenantStream is one tenant's contribution to a multi-client mix: a
+// single-tenant Spec plus an optional length distribution override. The
+// Spec's Tenant field names the stream; its Seed makes the stream's draw
+// independent of its siblings.
+type TenantStream struct {
+	Spec Spec
+	// Dist overrides the Spec's truncated-normal lengths when non-nil.
+	Dist LengthDist
+}
+
+// GenerateMix generates each stream independently and merges them into one
+// trace sorted by arrival, with IDs reassigned sequentially (arrival order)
+// so the merged trace is indistinguishable from a single generator's output
+// except for the tenant tags. Deterministic given the streams' seeds.
+func GenerateMix(streams []TenantStream) ([]*sched.Request, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("workload: empty mix")
+	}
+	var merged []*sched.Request
+	for i, st := range streams {
+		var (
+			reqs []*sched.Request
+			err  error
+		)
+		if st.Dist != nil {
+			reqs, err = GenerateWithDist(st.Spec, st.Dist)
+		} else {
+			reqs, err = Generate(st.Spec)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: mix stream %d (%q): %w", i, st.Spec.Tenant, err)
+		}
+		merged = append(merged, reqs...)
+	}
+	sort.SliceStable(merged, func(a, b int) bool {
+		if merged[a].Arrival != merged[b].Arrival {
+			return merged[a].Arrival < merged[b].Arrival
+		}
+		return merged[a].Tenant < merged[b].Tenant
+	})
+	for i, r := range merged {
+		r.ID = int64(i + 1)
+	}
+	return merged, nil
+}
+
+// AdversarialMix is the fairness experiments' canonical workload: nGood
+// well-behaved tenants ("good0", "good1", …) each running the paper
+// workload at baseRate, plus one "flooder" tenant submitting the same
+// request profile at floodFactor × baseRate. With floodFactor 0 the flooder
+// is omitted — the no-flood baseline the goodput-ratio gate compares
+// against. Each stream gets a distinct seed derived from seed.
+func AdversarialMix(baseRate, duration float64, seed uint64, nGood int, floodFactor float64) []TenantStream {
+	streams := make([]TenantStream, 0, nGood+1)
+	for i := 0; i < nGood; i++ {
+		sp := PaperSpec(baseRate, duration, seed+uint64(i)*1000003)
+		sp.Tenant = fmt.Sprintf("good%d", i)
+		streams = append(streams, TenantStream{Spec: sp})
+	}
+	if floodFactor > 0 {
+		sp := PaperSpec(baseRate*floodFactor, duration, seed+uint64(nGood)*1000003)
+		sp.Tenant = "flooder"
+		streams = append(streams, TenantStream{Spec: sp})
+	}
+	return streams
+}

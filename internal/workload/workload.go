@@ -32,6 +32,10 @@ type Spec struct {
 	DeadlineMin float64 `json:"deadline_min"`
 	DeadlineMax float64 `json:"deadline_max"`
 	Seed        uint64  `json:"seed"`
+	// Tenant tags every generated request with a tenant name (multi-tenant
+	// mixes stitch several single-tenant specs together; see GenerateMix).
+	// Empty means untagged — the fairness layer's default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // PaperSpec returns §6.2.1's workload: lengths 3–100, mean 20, variance 20,
@@ -85,6 +89,7 @@ func Generate(spec Spec) ([]*sched.Request, error) {
 			Arrival:  now,
 			Deadline: now + off,
 			Len:      ln,
+			Tenant:   spec.Tenant,
 		})
 		id++
 	}
@@ -103,13 +108,14 @@ type traceFileItem struct {
 	Deadline float64 `json:"deadline"`
 	Len      int     `json:"len"`
 	Weight   float64 `json:"weight,omitempty"`
+	Tenant   string  `json:"tenant,omitempty"`
 }
 
 // Save writes a trace (and optionally the spec that produced it) as JSON.
 func Save(w io.Writer, spec *Spec, reqs []*sched.Request) error {
 	tf := traceFile{Spec: spec}
 	for _, r := range reqs {
-		tf.Requests = append(tf.Requests, traceFileItem{r.ID, r.Arrival, r.Deadline, r.Len, r.Weight})
+		tf.Requests = append(tf.Requests, traceFileItem{r.ID, r.Arrival, r.Deadline, r.Len, r.Weight, r.Tenant})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -124,7 +130,7 @@ func Load(r io.Reader) (*Spec, []*sched.Request, error) {
 	}
 	var out []*sched.Request
 	for i, it := range tf.Requests {
-		req := &sched.Request{ID: it.ID, Arrival: it.Arrival, Deadline: it.Deadline, Len: it.Len, Weight: it.Weight}
+		req := &sched.Request{ID: it.ID, Arrival: it.Arrival, Deadline: it.Deadline, Len: it.Len, Weight: it.Weight, Tenant: it.Tenant}
 		if err := req.Validate(); err != nil {
 			return nil, nil, fmt.Errorf("workload: request %d: %w", i, err)
 		}
