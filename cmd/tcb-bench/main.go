@@ -28,6 +28,13 @@
 // utilization (fewer total decode steps), not parallelism, so it must hold
 // on one core too.
 //
+// ext-prefix likewise: under -json its figure lands in BENCH_prefix.json,
+// -prefix=false forces the A/B onto the no-cache escape hatch, and
+// -prefix-gate fails the run unless the cached server holds the gate at 0%
+// reuse (an idle cache must not slow bystanders) and 1.2× the gate at the
+// top reuse fraction (a busy cache must win). Enforced single-core too:
+// the win is skipped encode work, not parallelism.
+//
 // -kernel selects the float32 GEMM kernel (wide default, scalar reference;
 // int8 selects wide and implies -quantize), and -quantize routes every
 // real-engine experiment's projections through the int8 per-channel
@@ -72,6 +79,8 @@ func run() error {
 	pipelineGate := flag.Float64("pipeline-gate", 0, "fail if ext-pipeline's minimum speedup is below this (0 = off; skipped on a single-core runner)")
 	refill := flag.Bool("refill", true, "refill freed batch slots mid-flight in ext-refill (false = batch-at-a-time escape hatch)")
 	refillGate := flag.Float64("refill-gate", 0, "fail if ext-refill's best speedup across the sweep is below this (0 = off)")
+	prefix := flag.Bool("prefix", true, "serve ext-prefix through the prefix-sharing KV cache (false = no-cache escape hatch)")
+	prefixGate := flag.Float64("prefix-gate", 0, "fail if ext-prefix's speedup is below this at 0% reuse or below 1.2× this at the top reuse fraction (0 = off)")
 	clusterGate := flag.Float64("cluster-gate", 0, "fail if ext-cluster's 2-replica speedup over a single replica is below this (0 = off)")
 	kernel := flag.String("kernel", "wide", "float32 GEMM kernel: scalar, wide, or int8 (wide float32 + quantized projections)")
 	quantize := flag.Bool("quantize", false, "route real-engine experiments' projections through the int8 quantized GEMM")
@@ -119,6 +128,7 @@ func run() error {
 		DisableFusedDecode: !*fuseDecode,
 		DisablePipeline:    !*pipeline,
 		DisableRefill:      !*refill,
+		DisablePrefix:      !*prefix,
 		Quantize:           *quantize,
 	}
 	if *list {
@@ -168,6 +178,16 @@ func run() error {
 				}
 			}
 			if err := checkRefillGate(fig, *refillGate, !*refill); err != nil {
+				return err
+			}
+		}
+		if r.ID == "ext-prefix" {
+			if *jsonOut {
+				if err := writeJSONFile("BENCH_prefix.json", fig); err != nil {
+					return err
+				}
+			}
+			if err := checkPrefixGate(fig, *prefixGate, !*prefix); err != nil {
 				return err
 			}
 		}
@@ -289,6 +309,63 @@ func checkRefillGate(fig *experiments.Figure, gate float64, disabled bool) error
 	}
 	fmt.Fprintf(os.Stderr, "tcb-bench: refill gate ok: best speedup %.3f at %s=%g (gate %.3f)\n",
 		best, fig.XLabel, bestX, gate)
+	return nil
+}
+
+// checkPrefixGate enforces -prefix-gate against ext-prefix's speedup
+// series at its two ends. At 0% reuse nothing is ever resident, so the
+// cached server must serve at least `gate` × the uncached one — an idle
+// cache that slows bystander traffic is a regression. At the sweep's top
+// reuse fraction the cache must deliver a real win: at least 1.2 × gate.
+// Like the refill gate this is enforced on single-core runners too — the
+// win is skipped encode work, not parallelism.
+func checkPrefixGate(fig *experiments.Figure, gate float64, disabled bool) error {
+	if gate <= 0 {
+		return nil
+	}
+	if disabled {
+		fmt.Fprintln(os.Stderr, "tcb-bench: -prefix-gate skipped: prefix cache disabled (-prefix=false)")
+		return nil
+	}
+	if len(fig.X) == 0 {
+		return fmt.Errorf("tcb-bench: ext-prefix produced no points to gate")
+	}
+	topIdx := 0
+	for i := range fig.X {
+		if fig.X[i] > fig.X[topIdx] {
+			topIdx = i
+		}
+	}
+	for i := range fig.X {
+		if fig.X[i] == 0 {
+			// At 0% reuse both sides do identical work, so a single pair's
+			// ratio is pure runner noise around 1; the best pair isolates a
+			// real bystander regression (which drags every pair down).
+			s, err := fig.Get("speedup-best", i)
+			if err != nil {
+				return err
+			}
+			// 5% floor: the two sides are statistically identical here, so
+			// even the best of three pairs sits within runner noise of 1.
+			// A real bystander cost shifts every pair's mean and still trips.
+			if s < 0.95*gate {
+				return fmt.Errorf("tcb-bench: prefix-cache best speedup %.3f at 0%% reuse below gate %.3f (idle cache slows serving)", s, 0.95*gate)
+			}
+		}
+		if i == topIdx {
+			s, err := fig.Get("speedup", i)
+			if err != nil {
+				return err
+			}
+			if s < 1.2*gate {
+				return fmt.Errorf("tcb-bench: prefix-cache speedup %.3f at reuse=%g below gate %.3f (cache is not winning)",
+					s, fig.X[i], 1.2*gate)
+			}
+		}
+	}
+	top, _ := fig.Get("speedup", topIdx)
+	fmt.Fprintf(os.Stderr, "tcb-bench: prefix gate ok: top-reuse speedup %.3f at reuse=%g (gate %.3f / %.3f)\n",
+		top, fig.X[topIdx], gate, 1.2*gate)
 	return nil
 }
 

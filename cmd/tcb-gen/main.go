@@ -27,6 +27,9 @@ func main() {
 	dmin := flag.Float64("dmin", 0.5, "minimum deadline offset (s)")
 	dmax := flag.Float64("dmax", 3.0, "maximum deadline offset (s)")
 	seed := flag.Uint64("seed", 1, "generator seed")
+	prefixPool := flag.Int("prefix-pool", 0, "number of distinct shared prompt prefixes (0 disables the prefix dimension)")
+	prefixReuse := flag.Float64("prefix-reuse", 0.75, "probability a request reuses a pooled prefix")
+	prefixLen := flag.Int("prefix-len", 32, "shared prefix length in tokens (request length = prefix + drawn suffix)")
 	flag.Parse()
 
 	switch {
@@ -37,6 +40,11 @@ func main() {
 			MeanLen: *mean, VarLen: *variance,
 			DeadlineMin: *dmin, DeadlineMax: *dmax,
 			Seed: *seed,
+		}
+		if *prefixPool > 0 {
+			spec.PrefixPool = *prefixPool
+			spec.PrefixReuse = *prefixReuse
+			spec.PrefixLen = *prefixLen
 		}
 		reqs, err := workload.Generate(spec)
 		if err != nil {
@@ -52,9 +60,15 @@ func main() {
 			fail(err)
 		}
 		var lens, slacks stats.Running
+		prefixed := 0
+		prefixIDs := map[int64]bool{}
 		for _, r := range reqs {
 			lens.Add(float64(r.Len))
 			slacks.Add(r.Deadline - r.Arrival)
+			if r.PrefixID != 0 {
+				prefixed++
+				prefixIDs[r.PrefixID] = true
+			}
 		}
 		fmt.Printf("requests: %d\n", len(reqs))
 		if spec != nil {
@@ -64,6 +78,10 @@ func main() {
 			fmt.Printf("span: %.3fs .. %.3fs\n", reqs[0].Arrival, reqs[len(reqs)-1].Arrival)
 			fmt.Printf("length: %s\n", &lens)
 			fmt.Printf("deadline slack: %s\n", &slacks)
+		}
+		if prefixed > 0 {
+			fmt.Printf("prefixed: %d/%d requests over %d distinct prefixes\n",
+				prefixed, len(reqs), len(prefixIDs))
 		}
 	default:
 		flag.Usage()

@@ -56,7 +56,9 @@ import (
 	"tcb/internal/cluster"
 	"tcb/internal/engine"
 	"tcb/internal/fair"
+	"tcb/internal/gpu"
 	"tcb/internal/model"
+	"tcb/internal/prefixcache"
 	"tcb/internal/rng"
 	"tcb/internal/sched"
 	"tcb/internal/serve"
@@ -96,6 +98,10 @@ func main() {
 	classesSpec := flag.String("slo-classes", "", "SLO class overrides name:weight:deadline,... (default interactive/standard/batch tiers)")
 	bucketRate := flag.Float64("bucket-rate", 0, "default admission bucket refill (request tokens/s) for tenants without their own (0 = unlimited)")
 	bucketBurst := flag.Float64("bucket-burst", 0, "default admission bucket capacity in request tokens (0 = the rate)")
+	prefixOn := flag.Bool("prefix-cache", false, "prefix sharing: encode shared prompt prefixes once and reuse their frozen KV across requests (forces the KV-cached decoder)")
+	prefixBudget := flag.Int64("prefix-budget", 0, "prefix cache resident-byte budget (0 = unbounded)")
+	prefixPool := flag.Int("prefix-pool", 4, "demo stream: distinct shared prefixes to rotate over (with -prefix-cache)")
+	prefixReuse := flag.Float64("prefix-reuse", 0.75, "demo stream: probability a request carries a shared prefix (with -prefix-cache)")
 	flag.Parse()
 
 	kernel, err := tensor.ParseKernel(*kernelName)
@@ -191,6 +197,22 @@ func main() {
 		return total, len(chaosRunners) > 0
 	}
 
+	// Prefix-cache bookkeeping shared by both modes: one cache (and one
+	// device-byte ledger) per engine generation, so the post-drain balance
+	// check can prove no cache bytes leaked — even across chaos respawns.
+	var prefixMu sync.Mutex
+	var prefixMems []*gpu.MemoryManager
+	prefixBalanced := func() bool {
+		prefixMu.Lock()
+		defer prefixMu.Unlock()
+		for _, m := range prefixMems {
+			if m.Used() != 0 || m.Outstanding() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+
 	// newServer builds one engine + supervision stack; the cluster's Spawn
 	// calls it once per replica generation.
 	newServer := func(withChaos bool) (*serve.Server, *serve.ChaosRunner, error) {
@@ -200,6 +222,20 @@ func main() {
 			// Mid-flight refill runs on the fused KV-cached decode loop;
 			// outputs are token-identical to the default path (DESIGN.md §11).
 			eng.UseCache = true
+		}
+		var pc *prefixcache.Cache
+		if *prefixOn {
+			// The same cache serves both halves: the server pins and clears,
+			// the engine reads and inserts. Charging a dedicated memory
+			// manager keeps the cache's device accounting checkable without
+			// imposing an admission budget on the demo's engine.
+			mem := gpu.NewMemoryManager(0)
+			pc = prefixcache.New(*prefixBudget, mem)
+			eng.UseCache = true // prefix items require the KV-cached decoder
+			eng.PrefixCache = pc
+			prefixMu.Lock()
+			prefixMems = append(prefixMems, mem)
+			prefixMu.Unlock()
 		}
 		var runner serve.Runner = eng
 		var chaos *serve.ChaosRunner
@@ -223,6 +259,7 @@ func main() {
 			Fair:             *fairOn,
 			Registry:         registry,
 			Classes:          classes,
+			PrefixCache:      pc,
 		}
 		if *replicas <= 1 {
 			// Single-server mode: this server IS the HTTP front, so it
@@ -264,6 +301,8 @@ func main() {
 			scheduler: scheduler, scheme: scheme,
 			limiter: limiter, classes: classes,
 			tenants: demoTenants, fairOn: *fairOn,
+			prefixOn: *prefixOn, prefixPool: *prefixPool,
+			prefixReuse: *prefixReuse, prefixBalanced: prefixBalanced,
 		})
 		return
 	}
@@ -292,6 +331,7 @@ func main() {
 	}
 
 	src := rng.New(*seed)
+	prefixes := demoPrefixes(src, *prefixOn, *prefixPool, cfg.VocabSize)
 	type outcome struct {
 		ch <-chan serve.Response
 	}
@@ -308,6 +348,7 @@ func main() {
 		if len(demoTenants) > 0 {
 			opt.Tenant = demoTenants[i%len(demoTenants)]
 		}
+		tokens, opt.PrefixLen = maybePrefix(src, prefixes, *prefixReuse, tokens, 100)
 		ch, err := srv.SubmitOpts(tokens, *deadline, opt)
 		if err != nil {
 			rejected++
@@ -359,6 +400,15 @@ func main() {
 		fmt.Printf("refill: admitted=%d retired-early=%d occupancy=%.0f%% slot-idle-steps=%d\n",
 			st.RefillsAdmitted, st.SegmentsRetiredEarly, st.BatchOccupancyPct, st.SlotIdleSteps)
 	}
+	if st.PrefixEnabled {
+		fmt.Printf("prefix: hits=%d misses=%d hit-rate=%.0f%% tokens-saved=%d inserts=%d evictions=%d resident=%dB\n",
+			st.Prefix.Hits, st.Prefix.Misses, 100*st.Prefix.HitRate,
+			st.Prefix.TokensSaved, st.Prefix.Inserts, st.Prefix.Evictions, st.Prefix.ResidentBytes)
+		if !prefixBalanced() {
+			fmt.Fprintln(os.Stderr, "prefix cache leaked device bytes after drain")
+			os.Exit(1)
+		}
+	}
 	if *fairOn || len(demoTenants) > 0 {
 		fmt.Printf("fairness: wfq=%v jain=%.3f\n", st.FairEnabled, st.JainGoodput)
 		printTenantTable(st.Tenants)
@@ -403,6 +453,10 @@ type clusterMode struct {
 	classes         *fair.ClassSet
 	tenants         []string
 	fairOn          bool
+	prefixOn        bool
+	prefixPool      int
+	prefixReuse     float64
+	prefixBalanced  func() bool
 }
 
 // runClusterMode fronts N replicas with the cluster router and replays the
@@ -467,6 +521,7 @@ func runClusterMode(cm clusterMode) {
 	}
 
 	src := rng.New(cm.seed)
+	prefixes := demoPrefixes(src, cm.prefixOn, cm.prefixPool, cm.vocabSize)
 	var outs []<-chan serve.Response
 	start := time.Now()
 	sent, rejected := 0, 0
@@ -480,6 +535,7 @@ func runClusterMode(cm clusterMode) {
 		if len(cm.tenants) > 0 {
 			opt.Tenant = cm.tenants[i%len(cm.tenants)]
 		}
+		tokens, opt.PrefixLen = maybePrefix(src, prefixes, cm.prefixReuse, tokens, 100)
 		ch, err := c.SubmitOpts(tokens, cm.deadline, opt)
 		if err != nil {
 			rejected++
@@ -527,6 +583,19 @@ func runClusterMode(cm clusterMode) {
 	if counts, any := cm.chaosCounts(); any {
 		fmt.Printf("chaos injected: errs=%d panics=%d slows=%d lost=%d kills=%d wedges=%d\n",
 			counts.Errs, counts.Panics, counts.Slows, counts.Lost, counts.Kills, counts.Wedges)
+	}
+	if cm.prefixOn {
+		var hits, misses, saved int64
+		for _, rs := range st.Replicas {
+			hits += rs.Stats.Prefix.Hits
+			misses += rs.Stats.Prefix.Misses
+			saved += rs.Stats.Prefix.TokensSaved
+		}
+		fmt.Printf("prefix (all replicas): hits=%d misses=%d tokens-saved=%d\n", hits, misses, saved)
+		if !cm.prefixBalanced() {
+			fmt.Fprintln(os.Stderr, "prefix cache leaked device bytes after drain")
+			os.Exit(1)
+		}
 	}
 	if cm.fairOn || len(cm.tenants) > 0 {
 		fmt.Printf("fairness: jain=%.3f\n", st.JainGoodput)
@@ -587,6 +656,40 @@ func printClassP99(p99 map[string]float64) {
 		fmt.Printf(" %s=%.1f", name, p99[name])
 	}
 	fmt.Println()
+}
+
+// demoPrefixes pre-draws the shared prompt prefixes the demo stream rotates
+// over; nil when prefix sharing is off (drawing nothing keeps the default
+// stream byte-identical to earlier releases).
+func demoPrefixes(src *rng.Source, on bool, pool, vocabSize int) [][]int {
+	if !on || pool <= 0 {
+		return nil
+	}
+	const prefixLen = 12
+	out := make([][]int, pool)
+	for i := range out {
+		pfx := make([]int, prefixLen)
+		for j := range pfx {
+			pfx[j] = src.IntRange(vocab.FirstWordID, vocabSize-1)
+		}
+		out[i] = pfx
+	}
+	return out
+}
+
+// maybePrefix prepends one of the shared prefixes with probability reuse,
+// truncating the suffix so the prefixed request still fits the row capacity
+// L. It returns the (possibly prefixed) tokens and the declared prefix
+// length.
+func maybePrefix(src *rng.Source, prefixes [][]int, reuse float64, tokens []int, L int) ([]int, int) {
+	if len(prefixes) == 0 || src.Float64() >= reuse {
+		return tokens, 0
+	}
+	pfx := prefixes[src.Intn(len(prefixes))]
+	if max := L - len(pfx); len(tokens) > max {
+		tokens = tokens[:max]
+	}
+	return append(append(make([]int, 0, len(pfx)+len(tokens)), pfx...), tokens...), len(pfx)
 }
 
 func fail(err error) {

@@ -44,10 +44,24 @@ func (s Scheme) String() string {
 	}
 }
 
-// Item is one request as the batcher sees it.
+// Item is one request as the batcher sees it. Len counts the tokens the
+// item occupies in its row — for a prefix-cache hit that is the uncached
+// suffix only, so packing, padding accounting and memory reservations all
+// see the work the engine will actually do.
 type Item struct {
 	ID  int64
-	Len int // request length in tokens
+	Len int // resident length in tokens (suffix only on a prefix-cache hit)
+	// PrefixLen is the declared shared-prefix boundary: the item's first
+	// PrefixLen tokens encode as their own attention segment (separate PE
+	// restart + isolation) while the request decodes as one unit. 0 means
+	// no declared prefix — the layout is bitwise identical to one that
+	// predates prefix sharing.
+	PrefixLen int
+	// CachedLen is the number of leading tokens served from the prefix
+	// cache instead of the row: 0 (cold; the full request is resident, Len
+	// includes the prefix) or PrefixLen (hit; only the suffix is resident
+	// and Len excludes the prefix).
+	CachedLen int
 }
 
 // Row is one assembled batch row: items concatenated left to right, then
@@ -206,6 +220,15 @@ func (b *Batch) Validate() error {
 		for _, it := range r.Items {
 			if it.Len <= 0 {
 				return fmt.Errorf("batch: item %d has length %d", it.ID, it.Len)
+			}
+			if it.PrefixLen < 0 || it.CachedLen < 0 {
+				return fmt.Errorf("batch: item %d has negative prefix lengths (%d, %d)", it.ID, it.PrefixLen, it.CachedLen)
+			}
+			if it.CachedLen != 0 && it.CachedLen != it.PrefixLen {
+				return fmt.Errorf("batch: item %d caches %d of a %d-token prefix (must be all or none)", it.ID, it.CachedLen, it.PrefixLen)
+			}
+			if it.CachedLen == 0 && it.PrefixLen >= it.Len {
+				return fmt.Errorf("batch: item %d declares a %d-token prefix of a %d-token request (suffix must be non-empty)", it.ID, it.PrefixLen, it.Len)
 			}
 			if seen[it.ID] {
 				return fmt.Errorf("batch: item %d appears twice", it.ID)

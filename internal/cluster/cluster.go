@@ -29,7 +29,9 @@ import (
 	"time"
 
 	"tcb/internal/fair"
+	"tcb/internal/prefixcache"
 	"tcb/internal/serve"
+	"tcb/internal/tensor"
 )
 
 // State is a replica's position in the cluster health state machine. The
@@ -533,6 +535,19 @@ type Stats struct {
 	Respawns      int64 `json:"respawns"`       // completed replica respawns
 	ProbeFailures int64 `json:"probe_failures"` // failed synthetic probes
 
+	// Kernels snapshots the process-wide GEMM dispatch counters exactly once
+	// for the whole cluster. The per-replica serve.Stats rows each repeat
+	// the same process totals (the counters are global, not per-server);
+	// this field is the one to read.
+	Kernels tensor.KernelCounts `json:"kernels"`
+
+	// Prefix sums each replica's prefix-cache counters — the caches are
+	// per-replica (a respawn starts cold), so the cluster view is additive.
+	// HitRate is recomputed over the summed hit/miss totals. Zero when no
+	// replica has a cache attached.
+	Prefix        prefixcache.Stats `json:"prefix"`
+	PrefixEnabled bool              `json:"prefix_enabled"`
+
 	// Tenants sums each tenant's terminal outcomes across replicas, with
 	// the cluster-level limiter's throttle counts folded in; JainGoodput is
 	// Jain's index over the summed per-tenant deliveries.
@@ -579,7 +594,35 @@ func (c *Cluster) Stats() Stats {
 		})
 	}
 	st.Tenants, st.JainGoodput = c.tenantTotals(st.Replicas)
+	st.Kernels = tensor.KernelCounters()
+	st.Prefix, st.PrefixEnabled = prefixTotals(st.Replicas)
 	return st
+}
+
+// prefixTotals sums per-replica prefix-cache counters and recomputes the
+// aggregate hit rate.
+func prefixTotals(rows []ReplicaStats) (prefixcache.Stats, bool) {
+	var agg prefixcache.Stats
+	enabled := false
+	for _, row := range rows {
+		if !row.Stats.PrefixEnabled {
+			continue
+		}
+		enabled = true
+		p := row.Stats.Prefix
+		agg.Hits += p.Hits
+		agg.Misses += p.Misses
+		agg.Inserts += p.Inserts
+		agg.Evictions += p.Evictions
+		agg.Rejected += p.Rejected
+		agg.TokensSaved += p.TokensSaved
+		agg.ResidentBytes += p.ResidentBytes
+		agg.Entries += p.Entries
+	}
+	if total := agg.Hits + agg.Misses; total > 0 {
+		agg.HitRate = float64(agg.Hits) / float64(total)
+	}
+	return agg, enabled
 }
 
 // tenantTotals sums per-tenant outcomes across replica rows and folds in

@@ -10,8 +10,10 @@ import (
 
 	"tcb/internal/batch"
 	"tcb/internal/engine"
+	"tcb/internal/prefixcache"
 	"tcb/internal/sched"
 	"tcb/internal/serve"
+	"tcb/internal/tensor"
 )
 
 // echoRunner is a minimal healthy engine: each request's output is its own
@@ -539,5 +541,47 @@ func TestSubmitValidationIsSynchronous(t *testing.T) {
 	}
 	if st := c.Stats(); st.Failovers != 0 || st.Submitted != 0 {
 		t.Fatalf("validation must not count as traffic: %+v", st)
+	}
+}
+
+// TestStatsPrefixAggregation sums fabricated per-replica prefix counters —
+// the caches are per-replica (respawns start cold), so the cluster view is
+// additive with the hit rate recomputed over the summed totals.
+func TestStatsPrefixAggregation(t *testing.T) {
+	rows := []ReplicaStats{
+		{Stats: serve.Stats{PrefixEnabled: true, Prefix: prefixcache.Stats{
+			Hits: 6, Misses: 2, Inserts: 2, TokensSaved: 60, ResidentBytes: 100, Entries: 2,
+		}}},
+		{Stats: serve.Stats{PrefixEnabled: true, Prefix: prefixcache.Stats{
+			Hits: 2, Misses: 6, Inserts: 5, Evictions: 1, Rejected: 1, TokensSaved: 20, ResidentBytes: 300, Entries: 4,
+		}}},
+		{Stats: serve.Stats{}}, // cache off on this replica: contributes nothing
+	}
+	agg, enabled := prefixTotals(rows)
+	if !enabled {
+		t.Fatal("two replicas carry caches")
+	}
+	want := prefixcache.Stats{
+		Hits: 8, Misses: 8, Inserts: 7, Evictions: 1, Rejected: 1,
+		TokensSaved: 80, ResidentBytes: 400, Entries: 6, HitRate: 0.5,
+	}
+	if agg != want {
+		t.Fatalf("aggregate = %+v, want %+v", agg, want)
+	}
+	if _, enabled := prefixTotals(rows[2:]); enabled {
+		t.Fatal("no cache anywhere must report disabled")
+	}
+}
+
+// TestStatsKernelsSnapshot: the cluster reports the process-wide dispatch
+// counters exactly once at the top level.
+func TestStatsKernelsSnapshot(t *testing.T) {
+	c, err := New(Config{Replicas: 2, Spawn: echoSpawn(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if got, want := c.Stats().Kernels, tensor.KernelCounters(); got != want {
+		t.Fatalf("cluster kernels = %+v, want the process snapshot %+v", got, want)
 	}
 }

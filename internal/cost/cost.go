@@ -200,6 +200,40 @@ func (p Params) PredictBatchDuration(b *batch.Batch) time.Duration {
 	return time.Duration(p.BatchTime(b) * float64(time.Second))
 }
 
+// PrefixSavings returns the encode-side seconds one prefix-cache hit saves
+// when its first cachedLen tokens are served from the cache instead of
+// re-encoded: the cached positions' projection/FFN work plus the prefix
+// segment's own block-diagonal self-attention area (cachedLen² score
+// entries — a declared prefix encodes as its own attention segment, so that
+// block is exactly what the engine skips on a hit). Decode work is
+// unchanged: a hit request decodes every round like any other segment,
+// attending over the frozen prefix rows.
+//
+// The simulator subtracts this per hit from the batch time it charges
+// (System.PrefixCache); the live serving layer needs no discount because
+// hit items enter layouts with Len already shrunk to the uncached suffix,
+// so PredictBatchDuration sees the reduced work directly.
+func (p Params) PrefixSavings(cachedLen int) float64 {
+	if cachedLen <= 0 {
+		return 0
+	}
+	c := float64(cachedLen)
+	return c*p.PerTokenSeconds + c*c*p.PerScoreSeconds
+}
+
+// BatchPrefixSavings sums PrefixSavings over a batch's cache-served items
+// (Item.CachedLen) — the watchdog-calibration counterpart of PrefixSavings
+// for layouts that annotate their cached prefixes.
+func (p Params) BatchPrefixSavings(b *batch.Batch) float64 {
+	var s float64
+	for _, r := range b.Rows {
+		for _, it := range r.Items {
+			s += p.PrefixSavings(it.CachedLen)
+		}
+	}
+	return s
+}
+
 // PredictAdmissionDuration predicts the extra latency one continuous-
 // batching admission of the given input length adds to a running batch: its
 // encode cost (tokens and self-attention score area) plus its share of the

@@ -20,6 +20,7 @@ import (
 	"tcb/internal/batch"
 	"tcb/internal/gpu"
 	"tcb/internal/model"
+	"tcb/internal/prefixcache"
 	"tcb/internal/tensor"
 	"tcb/internal/vocab"
 )
@@ -68,6 +69,14 @@ type Engine struct {
 	// float32 path's bitwise-identity guarantee. The model is quantized
 	// lazily on first Prepare (once per shared Params, race-safe).
 	Quantize bool
+	// PrefixCache, when non-nil, is the shared-prompt prefix KV cache.
+	// Items with CachedLen > 0 attach the cached prefix's frozen cross K/V
+	// to their decode segment instead of re-encoding the prefix (the caller
+	// must hold a pin for the duration of the launch; see prefixcache);
+	// items with a declared-but-uncached prefix have their prefix rows
+	// frozen into the cache once they complete. Prefix items require
+	// UseCache (the KV-cached decoder); everything else is unaffected.
+	PrefixCache *prefixcache.Cache
 }
 
 // New returns an engine over m generating at most maxNew tokens per request.
@@ -129,16 +138,38 @@ type Prepared struct {
 	DeferCleaning bool
 
 	mode model.AttentionMode
-	// Staged per non-empty row, in batch-row order.
-	rows      []batch.Row
-	rowTokens [][]int
-	layouts   []model.RowLayout
-	slots     [][]model.Slot
-	caps      [][]int
+	// Staged per non-empty row, in batch-row order. layouts is the decode
+	// (item) layout — one segment per item, spanning its resident tokens.
+	// encLayouts is the encoder layout: identical except that items with a
+	// declared, uncached prefix are split into two segments (prefix, then
+	// suffix), each with its own positional-encoding restart and isolation.
+	// Items without prefixes produce identical layouts and encLayouts is
+	// the same slice value — the pre-prefix path, bit for bit.
+	rows       []batch.Row
+	rowTokens  [][]int
+	layouts    []model.RowLayout
+	encLayouts []model.RowLayout
+	slots      [][]model.Slot
+	caps       [][]int
+	// prefixes[ri][i] is the frozen prefix attached to row ri's item i
+	// (cache hits only; nil entries otherwise). inserts lists the items
+	// whose freshly encoded prefix rows should be frozen into the cache
+	// after the run completes.
+	prefixes [][]*model.PrefixKV
+	inserts  []prefixInsert
 
 	eng      *Engine
 	memTag   string
 	released atomic.Bool
+}
+
+// prefixInsert locates a declared-but-uncached prefix inside a staged row:
+// rows [start, start+n) of row ri's encoder output are item id's prefix.
+type prefixInsert struct {
+	ri    int
+	start int
+	n     int
+	id    int64
 }
 
 // Prepare validates b, reserves its device memory, and stages the host-side
@@ -157,9 +188,17 @@ func (e *Engine) Prepare(b *batch.Batch, tokens map[int64][]int) (*Prepared, err
 		if !ok {
 			return nil, fmt.Errorf("engine: no tokens for item %d", it.ID)
 		}
-		if len(seq) != it.Len {
+		// tokens always carries the FULL request; on a prefix-cache hit only
+		// the suffix (it.Len tokens) is resident in the row.
+		if len(seq) != it.Len+it.CachedLen {
 			return nil, fmt.Errorf("engine: item %d has %d tokens, layout says %d",
-				it.ID, len(seq), it.Len)
+				it.ID, len(seq), it.Len+it.CachedLen)
+		}
+		if it.PrefixLen > 0 && !e.UseCache {
+			return nil, fmt.Errorf("engine: item %d declares a prefix but the engine runs without the KV-cached decoder", it.ID)
+		}
+		if it.CachedLen > 0 && e.PrefixCache == nil {
+			return nil, fmt.Errorf("engine: item %d expects a cached prefix but the engine has no prefix cache", it.ID)
 		}
 	}
 	p := &Prepared{Batch: b, Tokens: tokens, mode: model.AttDense, eng: e}
@@ -170,12 +209,18 @@ func (e *Engine) Prepare(b *batch.Batch, tokens map[int64][]int) (*Prepared, err
 		if len(row.Items) == 0 {
 			continue
 		}
-		rowTokens, layout, slots := e.rowLayout(b, row, tokens, p.mode)
+		ri := len(p.rows)
+		rowTokens, layout, encLayout, slots, prefixes, err := e.rowLayout(b, row, tokens, p.mode, ri, &p.inserts)
+		if err != nil {
+			return nil, err
+		}
 		p.rows = append(p.rows, row)
 		p.rowTokens = append(p.rowTokens, rowTokens)
 		p.layouts = append(p.layouts, layout)
+		p.encLayouts = append(p.encLayouts, encLayout)
 		p.slots = append(p.slots, slots)
 		p.caps = append(p.caps, e.rowCaps(row))
+		p.prefixes = append(p.prefixes, prefixes)
 	}
 	if e.Mem != nil && b.TotalTokens() > 0 {
 		// Tag by a fresh launch id, not the batch pointer: concurrent runs
@@ -257,23 +302,66 @@ func (p *Prepared) FinishReport(rep *Report) error {
 // launchSeq numbers engine launches process-wide for memory-manager tags.
 var launchSeq atomic.Uint64
 
-// rowLayout concatenates a row's item tokens, pads to the row capacity and
-// builds the layout plus (for slotted batches) the slot descriptors.
-func (e *Engine) rowLayout(b *batch.Batch, row batch.Row, tokens map[int64][]int, mode model.AttentionMode) (rowTokens []int, layout model.RowLayout, slots []model.Slot) {
+// rowLayout concatenates a row's item tokens (resident suffix only for
+// prefix-cache hits), pads to the row capacity and builds the decode (item)
+// layout, the encoder layout (declared-but-uncached prefixes split into
+// their own segments), the slot descriptors (for slotted batches), the
+// attached frozen prefixes (for hits) and the pending cache inserts (for
+// cold declared prefixes).
+func (e *Engine) rowLayout(b *batch.Batch, row batch.Row, tokens map[int64][]int, mode model.AttentionMode, ri int, inserts *[]prefixInsert) (rowTokens []int, layout, encLayout model.RowLayout, slots []model.Slot, prefixes []*model.PrefixKV, err error) {
 	lengths := make([]int, len(row.Items))
 	rowTokens = make([]int, 0, row.PadTo)
+	encLengths := make([]int, 0, len(row.Items))
+	segCounts := make([]int, len(row.Items))
+	split := false
+	start := 0
 	for i, it := range row.Items {
 		lengths[i] = it.Len
-		rowTokens = append(rowTokens, tokens[it.ID]...)
+		seq := tokens[it.ID]
+		rowTokens = append(rowTokens, seq[it.CachedLen:]...)
+		segCounts[i] = 1
+		switch {
+		case it.CachedLen > 0:
+			// Hit: only the suffix is resident; the decode segment inherits
+			// the frozen prefix K/V. The pin the serving layer took at
+			// admission guarantees residency here.
+			_, kv, ok := e.PrefixCache.Peek(seq, it.CachedLen)
+			if !ok {
+				return nil, model.RowLayout{}, model.RowLayout{}, nil, nil,
+					fmt.Errorf("engine: item %d's cached prefix is not resident (pin not held?)", it.ID)
+			}
+			if prefixes == nil {
+				prefixes = make([]*model.PrefixKV, len(row.Items))
+			}
+			prefixes[i] = kv
+			encLengths = append(encLengths, it.Len)
+		case it.PrefixLen > 0:
+			// Cold declared prefix: encode prefix and suffix as two isolated
+			// segments (separate PE restart each) so the prefix rows are
+			// position-independent and cacheable; freeze them after the run.
+			encLengths = append(encLengths, it.PrefixLen, it.Len-it.PrefixLen)
+			segCounts[i] = 2
+			split = true
+			if e.PrefixCache != nil && !e.PrefixCache.Contains(seq, it.PrefixLen) {
+				*inserts = append(*inserts, prefixInsert{ri: ri, start: start, n: it.PrefixLen, id: it.ID})
+			}
+		default:
+			encLengths = append(encLengths, it.Len)
+		}
+		start += it.Len
 	}
 	for len(rowTokens) < row.PadTo {
 		rowTokens = append(rowTokens, vocab.PadID)
 	}
 	layout = model.ConcatLayout(lengths, row.PadTo)
-	if mode == model.AttSlotted {
-		slots = e.slotsForRow(b, row, layout)
+	encLayout = layout
+	if split {
+		encLayout = model.ConcatLayout(encLengths, row.PadTo)
 	}
-	return rowTokens, layout, slots
+	if mode == model.AttSlotted {
+		slots = e.slotsForRow(b, row, encLayout, segCounts)
+	}
+	return rowTokens, layout, encLayout, slots, prefixes, nil
 }
 
 // rowCaps returns the per-item generation caps of a row (MaxNew clamped by
@@ -283,7 +371,9 @@ func (e *Engine) rowCaps(row batch.Row) []int {
 	for i, it := range row.Items {
 		caps[i] = e.MaxNew
 		if e.OutputCap != nil {
-			if c := e.OutputCap(it.Len); c < caps[i] {
+			// The cap depends on the request's full input length — a cache
+			// hit must generate exactly what a cold run would.
+			if c := e.OutputCap(it.Len + it.CachedLen); c < caps[i] {
 				caps[i] = c
 			}
 		}
@@ -340,6 +430,9 @@ func (e *Engine) runFused(p *Prepared) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	for ri := range p.rows {
+		e.freezeRowPrefixes(p, ri, decRows[ri].EncOut)
+	}
 	var results []Result
 	for ri, row := range p.rows {
 		for i, it := range row.Items {
@@ -347,6 +440,32 @@ func (e *Engine) runFused(p *Prepared) ([]Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// freezeRowPrefixes runs row ri's staged insert-on-completion jobs: each
+// cold declared prefix's encoder rows are copied out of the row, projected
+// into frozen cross K/V, and offered to the cache. Failures (over budget,
+// out of device memory) just mean the next identical request encodes cold
+// again.
+func (e *Engine) freezeRowPrefixes(p *Prepared, ri int, enc *tensor.Matrix) {
+	if e.PrefixCache == nil || enc == nil {
+		return
+	}
+	for _, job := range p.inserts {
+		if job.ri != ri {
+			continue
+		}
+		seq := p.Tokens[job.id]
+		if e.PrefixCache.Contains(seq, job.n) {
+			continue // a concurrent launch froze it first
+		}
+		rows := enc.Slice(job.start, job.start+job.n) // deep copy; cache owns it
+		kv, err := e.Model.BuildPrefixKV(rows)
+		if err != nil {
+			continue
+		}
+		e.PrefixCache.Insert(seq, job.n, rows, kv)
+	}
 }
 
 // runRow executes one staged row: encode, decode, split results per item.
@@ -357,8 +476,9 @@ func (e *Engine) runRow(p *Prepared, ri int) ([]Result, error) {
 	// are recycled across batches through the package pool.
 	ws := tensor.NewWorkspace()
 	defer ws.Close()
-	encOut := e.Model.EncodeRowWS(p.rowTokens[ri], p.layouts[ri], p.slots[ri], p.mode, true, ws)
+	encOut := e.Model.EncodeRowWS(p.rowTokens[ri], p.encLayouts[ri], p.slots[ri], p.mode, true, ws)
 	if e.MaxNew == 0 {
+		e.freezeRowPrefixes(p, ri, encOut)
 		out := make([]Result, len(row.Items))
 		for i, it := range row.Items {
 			out[i] = Result{ID: it.ID}
@@ -368,13 +488,14 @@ func (e *Engine) runRow(p *Prepared, ri int) ([]Result, error) {
 	var gen []model.GenerateResult
 	if e.UseCache {
 		var err error
-		gen, err = e.Model.GenerateRowCached(encOut, p.layouts[ri], p.caps[ri])
+		gen, err = e.Model.GenerateRowCachedPrefix(encOut, p.layouts[ri], p.prefixes[ri], p.caps[ri])
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		gen = e.Model.GenerateRowCapped(encOut, p.layouts[ri], p.slots[ri], p.caps[ri], p.mode)
 	}
+	e.freezeRowPrefixes(p, ri, encOut)
 	out := make([]Result, len(row.Items))
 	for i, it := range row.Items {
 		out[i] = Result{ID: it.ID, Output: gen[i].Tokens, Steps: gen[i].Steps}
@@ -383,23 +504,30 @@ func (e *Engine) runRow(p *Prepared, ri int) ([]Result, error) {
 }
 
 // slotsForRow converts the batch's physical slot grouping into the model's
-// Slot descriptors over the row layout.
-func (e *Engine) slotsForRow(b *batch.Batch, row batch.Row, layout model.RowLayout) []model.Slot {
+// Slot descriptors over the encoder layout. segCounts[i] is the number of
+// encoder segments item i contributes (2 when a declared prefix splits it,
+// 1 otherwise); the item's segments are consecutive, so its slot span is
+// unchanged by the split — the prefix/suffix isolation happens inside the
+// slot via the layout's segment IDs.
+func (e *Engine) slotsForRow(b *batch.Batch, row batch.Row, layout model.RowLayout, segCounts []int) []model.Slot {
 	groups := b.SlotGroups(row)
 	var slots []model.Slot
-	seg := 0
+	seg, item := 0, 0
 	for _, g := range groups {
 		var s model.Slot
 		first := true
 		for range g {
-			sg := layout.Segments[seg]
-			if first {
-				s.Start = sg.Start
-				first = false
+			for k := 0; k < segCounts[item]; k++ {
+				sg := layout.Segments[seg]
+				if first {
+					s.Start = sg.Start
+					first = false
+				}
+				s.SegIdx = append(s.SegIdx, seg)
+				s.Len = sg.End() - s.Start
+				seg++
 			}
-			s.SegIdx = append(s.SegIdx, seg)
-			s.Len = sg.End() - s.Start
-			seg++
+			item++
 		}
 		if !first {
 			slots = append(slots, s)

@@ -24,11 +24,24 @@ import (
 )
 
 // Admission is one queued request offered to a running batch: the serving
-// layer's refill hook returns these from Refill.
+// layer's refill hook returns these from Refill. Tokens always carries the
+// FULL request; on a prefix-cache hit (CachedLen > 0) only the suffix is
+// encoded and seated, so the admission occupies Resident() tokens of the
+// freed capacity.
 type Admission struct {
 	ID     int64
 	Tokens []int
+	// PrefixLen declares the shared-prefix boundary (0 = none); CachedLen
+	// is 0 (cold — encode prefix and suffix as two isolated segments, then
+	// freeze the prefix) or PrefixLen (hit — encode the suffix only and
+	// inherit the frozen prefix K/V).
+	PrefixLen int
+	CachedLen int
 }
+
+// Resident returns the token capacity the admission occupies in the batch:
+// the full length cold, the uncached suffix on a prefix-cache hit.
+func (a Admission) Resident() int { return len(a.Tokens) - a.CachedLen }
 
 // RefillHook connects a running launch back to whoever owns the request
 // queue. The engine calls it from the decode loop's goroutine:
@@ -143,6 +156,12 @@ func (e *Engine) runFusedRefill(p *Prepared, hook RefillHook) ([]Result, *Refill
 		return nil, ref, nil
 	}
 	decRows := e.encodeRows(p)
+	// Freeze declared prefixes as soon as the encode lands — refill launches
+	// run long, so making the prefix available early lets admissions from the
+	// same family hit the cache mid-flight.
+	for ri := range p.rows {
+		e.freezeRowPrefixes(p, ri, decRows[ri].EncOut)
+	}
 	st := e.Model.NewBatchDecodeStateReserve(decRows, e.MaxNew)
 	defer st.Close()
 
@@ -239,15 +258,19 @@ func (e *Engine) runFusedRefill(p *Prepared, hook RefillHook) ([]Result, *Refill
 		if freeTokens > 0 {
 			seated := make([]Admission, 0, 4)
 			for _, adm := range hook.Refill(freeTokens) {
-				if len(adm.Tokens) == 0 || len(adm.Tokens) > freeTokens {
-					hook.Reject(adm, fmt.Errorf("engine: admission of %d tokens for %d free", len(adm.Tokens), freeTokens))
+				if adm.Resident() <= 0 || adm.Resident() > freeTokens {
+					hook.Reject(adm, fmt.Errorf("engine: admission of %d tokens for %d free", adm.Resident(), freeTokens))
 					continue
 				}
-				if err := p.growReservation(int64(len(adm.Tokens)) * e.BytesPerToken); err != nil {
+				if adm.CachedLen > 0 && e.PrefixCache == nil {
+					hook.Reject(adm, fmt.Errorf("engine: admission %d expects a cached prefix but the engine has no prefix cache", adm.ID))
+					continue
+				}
+				if err := p.growReservation(int64(adm.Resident()) * e.BytesPerToken); err != nil {
 					hook.Reject(adm, err)
 					continue
 				}
-				freeTokens -= len(adm.Tokens)
+				freeTokens -= adm.Resident()
 				seated = append(seated, adm)
 			}
 			// Encode the whole offer in parallel — the admission-side mirror
@@ -258,14 +281,25 @@ func (e *Engine) runFusedRefill(p *Prepared, hook RefillHook) ([]Result, *Refill
 				encOut, err := encOuts[ai], error(nil)
 				if encOut == nil {
 					err = fmt.Errorf("engine: admission of %d tokens beyond MaxLen %d", len(adm.Tokens), e.Model.P.PosEnc.Rows)
+				} else if adm.CachedLen > 0 {
+					var kv *model.PrefixKV
+					var ok bool
+					if _, kv, ok = e.PrefixCache.Peek(adm.Tokens, adm.CachedLen); !ok {
+						err = fmt.Errorf("engine: admission %d's cached prefix is not resident (pin not held?)", adm.ID)
+					} else {
+						_, err = st.InsertSegmentPrefix(encOut, kv)
+					}
 				} else {
 					_, err = st.InsertSegment(encOut)
 				}
 				if err != nil {
-					freeTokens += len(adm.Tokens)
-					p.shrinkReservation(int64(len(adm.Tokens)) * e.BytesPerToken)
+					freeTokens += adm.Resident()
+					p.shrinkReservation(int64(adm.Resident()) * e.BytesPerToken)
 					hook.Reject(adm, err)
 					continue
+				}
+				if adm.PrefixLen > 0 && adm.CachedLen == 0 {
+					e.freezeAdmissionPrefix(adm, encOuts[ai])
 				}
 				cap := e.MaxNew
 				if e.OutputCap != nil {
@@ -277,9 +311,9 @@ func (e *Engine) runFusedRefill(p *Prepared, hook RefillHook) ([]Result, *Refill
 					cap = 0
 				}
 				segs = append(segs, &liveSeg{
-					id: adm.ID, cap: cap, inLen: len(adm.Tokens), next: vocab.BosID,
+					id: adm.ID, cap: cap, inLen: adm.Resident(), next: vocab.BosID,
 				})
-				liveTokens += int64(len(adm.Tokens))
+				liveTokens += int64(adm.Resident())
 				if freeSlots > 0 {
 					freeSlots--
 				}
@@ -294,7 +328,9 @@ func (e *Engine) runFusedRefill(p *Prepared, hook RefillHook) ([]Result, *Refill
 }
 
 // encodeRows encodes every staged row in parallel — identical to the fused
-// path's encode fan-out.
+// path's encode fan-out. Encoding uses the encoder-side layout (which splits
+// declared prefixes into their own attention segments); the decode-side
+// layout and any inherited prefixes ride along on the BatchDecodeRow.
 func (e *Engine) encodeRows(p *Prepared) []model.BatchDecodeRow {
 	decRows := make([]model.BatchDecodeRow, len(p.rows))
 	var wg sync.WaitGroup
@@ -305,8 +341,9 @@ func (e *Engine) encodeRows(p *Prepared) []model.BatchDecodeRow {
 			ws := tensor.NewWorkspace()
 			defer ws.Close()
 			decRows[ri] = model.BatchDecodeRow{
-				EncOut: e.Model.EncodeRowWS(p.rowTokens[ri], p.layouts[ri], p.slots[ri], p.mode, true, ws),
-				Layout: p.layouts[ri],
+				EncOut:   e.Model.EncodeRowWS(p.rowTokens[ri], p.encLayouts[ri], p.slots[ri], p.mode, true, ws),
+				Layout:   p.layouts[ri],
+				Prefixes: p.prefixes[ri],
 			}
 		}(ri)
 	}
@@ -314,12 +351,14 @@ func (e *Engine) encodeRows(p *Prepared) []model.BatchDecodeRow {
 	return decRows
 }
 
-// encodeAdmissions encodes each admitted request as its own single-segment,
-// pad-free row, fanning the encoder forwards out in parallel like the
-// launch-time row encode. Concatenation isolation makes each result
-// identical to what the request would see inside any batch row, so admitted
-// outputs match the no-refill run of the same request. Over-long requests
-// yield a nil entry for the caller to reject.
+// encodeAdmissions encodes each admitted request as its own pad-free row,
+// fanning the encoder forwards out in parallel like the launch-time row
+// encode. Concatenation isolation makes each result identical to what the
+// request would see inside any batch row, so admitted outputs match the
+// no-refill run of the same request. A prefix-cache hit encodes the uncached
+// suffix only; a cold declared prefix encodes prefix and suffix as two
+// isolated segments (so the prefix rows can be frozen for reuse). Over-long
+// requests yield a nil entry for the caller to reject.
 func (e *Engine) encodeAdmissions(adms []Admission) []*tensor.Matrix {
 	outs := make([]*tensor.Matrix, len(adms))
 	var wg sync.WaitGroup
@@ -328,14 +367,42 @@ func (e *Engine) encodeAdmissions(adms []Admission) []*tensor.Matrix {
 			continue
 		}
 		wg.Add(1)
-		go func(i int, tokens []int) {
+		go func(i int, adm Admission) {
 			defer wg.Done()
 			ws := tensor.NewWorkspace()
 			defer ws.Close()
-			layout := model.SingleSegment(len(tokens), len(tokens))
+			var layout model.RowLayout
+			tokens := adm.Tokens
+			switch {
+			case adm.CachedLen > 0:
+				tokens = adm.Tokens[adm.CachedLen:]
+				layout = model.SingleSegment(len(tokens), len(tokens))
+			case adm.PrefixLen > 0:
+				layout = model.ConcatLayout([]int{adm.PrefixLen, len(tokens) - adm.PrefixLen}, len(tokens))
+			default:
+				layout = model.SingleSegment(len(tokens), len(tokens))
+			}
 			outs[i] = e.Model.EncodeRowWS(tokens, layout, nil, model.AttDense, true, ws)
-		}(i, adm.Tokens)
+		}(i, adm)
 	}
 	wg.Wait()
 	return outs
+}
+
+// freezeAdmissionPrefix inserts a cold-declared admission's just-encoded
+// prefix rows into the prefix cache. Best-effort: a full cache only costs
+// future hits.
+func (e *Engine) freezeAdmissionPrefix(adm Admission, encOut *tensor.Matrix) {
+	if e.PrefixCache == nil || encOut == nil || adm.PrefixLen <= 0 {
+		return
+	}
+	if e.PrefixCache.Contains(adm.Tokens, adm.PrefixLen) {
+		return
+	}
+	rows := encOut.Slice(0, adm.PrefixLen)
+	kv, err := e.Model.BuildPrefixKV(rows)
+	if err != nil {
+		return
+	}
+	e.PrefixCache.Insert(adm.Tokens, adm.PrefixLen, rows, kv)
 }

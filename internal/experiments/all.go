@@ -38,6 +38,7 @@ func All(opt Options) []Runner {
 		{"ext-fused-decode", func() (*Figure, error) { return ExtFusedDecode(opt) }},
 		{"ext-pipeline", func() (*Figure, error) { return ExtPipeline(opt) }},
 		{"ext-refill", func() (*Figure, error) { return ExtRefill(opt) }},
+		{"ext-prefix", func() (*Figure, error) { return ExtPrefix(opt) }},
 		{"ext-cluster", func() (*Figure, error) { return ExtCluster(opt) }},
 		{"ext-quantized", func() (*Figure, error) { return ExtQuantized(opt) }},
 		{"ext-fairness", func() (*Figure, error) { return ExtFairness(opt) }},

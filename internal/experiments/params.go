@@ -30,6 +30,10 @@ type Options struct {
 	// ext-refill skips the continuous-batching runs and mirrors the
 	// no-refill series instead, for A/B isolation.
 	DisableRefill bool
+	// DisablePrefix is the escape hatch behind tcb-bench's -prefix=false:
+	// ext-prefix skips the cached runs and mirrors the no-cache series
+	// instead, for A/B isolation.
+	DisablePrefix bool
 	// Quantize routes every real-engine experiment's projections through
 	// the int8 per-channel quantized GEMM (tcb-bench -quantize, and implied
 	// by -kernel=int8). ext-quantized ignores it: that experiment always

@@ -13,6 +13,12 @@ import (
 type BatchDecodeRow struct {
 	EncOut *tensor.Matrix
 	Layout RowLayout
+	// Prefixes, when non-nil, attaches an inherited prefix to each segment
+	// (indexed like Layout.Segments; nil entries mean no prefix): the
+	// segment's cross-attention cache becomes the frozen prefix K/V rows
+	// followed by its own encoder rows, so the decoder sees the full
+	// prefix+suffix request while only the suffix occupied the encode row.
+	Prefixes []*PrefixKV
 }
 
 // BatchDecodeState is the batch-wide fused form of the KV-cached incremental
@@ -146,9 +152,13 @@ func (m *Model) newBatchDecodeState(rows []BatchDecodeRow, reserve int) *BatchDe
 	}
 	scoreLen := maxLen
 	for _, row := range rows {
-		for _, seg := range row.Layout.Segments {
-			if seg.Len > scoreLen {
-				scoreLen = seg.Len
+		for si, seg := range row.Layout.Segments {
+			ln := seg.Len
+			if pk := row.prefixAt(si); pk != nil {
+				ln += pk.Len // the cross cache spans prefix + suffix rows
+			}
+			if ln > scoreLen {
+				scoreLen = ln
 			}
 		}
 	}
@@ -182,6 +192,16 @@ func (m *Model) newBatchDecodeState(rows []BatchDecodeRow, reserve int) *BatchDe
 			v := layer.CrossAttn.WV.Apply(row.EncOut)
 			base := rowStart[r]
 			for si, seg := range row.Layout.Segments {
+				if pk := row.prefixAt(si); pk != nil {
+					// Inherited prefix: frozen prefix rows, own rows after.
+					ck := tensor.New(pk.Len+seg.Len, d)
+					cv := tensor.New(pk.Len+seg.Len, d)
+					inheritCross(ck, pk.Layers[li].K, k, seg)
+					inheritCross(cv, pk.Layers[li].V, v, seg)
+					lc.crossK[base+si] = ck
+					lc.crossV[base+si] = cv
+					continue
+				}
 				lc.crossK[base+si] = k.Slice(seg.Start, seg.End())
 				lc.crossV[base+si] = v.Slice(seg.Start, seg.End())
 			}

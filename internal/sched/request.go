@@ -30,6 +30,16 @@ type Request struct {
 	// default tenant. Schedulers themselves are tenant-blind — isolation
 	// happens in the candidate pool they are handed.
 	Tenant string
+	// PrefixLen declares that the request's first PrefixLen tokens are a
+	// shared prompt prefix (0 = none). Schedulers stay prefix-blind; the
+	// serving layer shrinks Len to the uncached suffix on a prefix-cache
+	// hit before the request reaches a scheduler, so packing already sees
+	// the resident work. Always < Len.
+	PrefixLen int
+	// PrefixID names which shared prefix PrefixLen refers to (workload
+	// traces use it to materialize identical token prefixes across
+	// requests; 0 = none).
+	PrefixID int64
 }
 
 // Utility returns vₙ = wₙ/lₙ — §5.1's vₙ = 1/lₙ generalized with the SLA
@@ -53,6 +63,9 @@ func (r *Request) Validate() error {
 	}
 	if r.Weight < 0 {
 		return fmt.Errorf("sched: request %d has negative weight %g", r.ID, r.Weight)
+	}
+	if r.PrefixLen < 0 || r.PrefixLen >= r.Len {
+		return fmt.Errorf("sched: request %d declares a %d-token prefix of %d tokens (suffix must be non-empty)", r.ID, r.PrefixLen, r.Len)
 	}
 	return nil
 }

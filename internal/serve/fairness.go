@@ -204,6 +204,7 @@ func (s *Server) shedFairLocked() {
 		s.shed++
 		s.counterLocked(p).shed++
 		s.wfqRelease(p, false)
+		p.prefix.Release()
 	}
 	for n := 0; n < excess; n++ {
 		// Most-over-share tenant: maximize queued/share. share_i is the

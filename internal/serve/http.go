@@ -20,6 +20,11 @@ type InferRequest struct {
 	// or whatever the server was configured with). Empty means unclassed:
 	// weight 1, no deadline default.
 	Class string `json:"class,omitempty"`
+	// PrefixLen declares that the first PrefixLen tokens are a shared prompt
+	// prefix (0 = none). With prefix sharing enabled server-side, a resident
+	// prefix is served from the cache instead of re-encoded; outputs are
+	// identical either way.
+	PrefixLen int `json:"prefix_len,omitempty"`
 }
 
 // InferResponse is the JSON body returned by POST /v1/infer.
@@ -81,7 +86,7 @@ func NewHTTPHandler(srv *Server) http.Handler {
 			return
 		}
 		ch, err := srv.SubmitOpts(req.Tokens, time.Duration(req.DeadlineMS)*time.Millisecond,
-			SubmitOptions{Tenant: tenant, Class: req.Class})
+			SubmitOptions{Tenant: tenant, Class: req.Class, PrefixLen: req.PrefixLen})
 		if err != nil {
 			status := http.StatusBadRequest
 			if errors.Is(err, ErrQueueFull) {

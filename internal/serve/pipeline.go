@@ -36,6 +36,7 @@ import (
 // before the requeue.
 func (s *Server) pipelineLoop() {
 	defer close(s.done)
+	defer s.clearPrefixCache()
 	// Keep cores for the non-compute stages: kernels plan their chunk
 	// fan-out around the reservation, so stage B's compute cannot starve
 	// stage A/C of the scheduler.

@@ -75,6 +75,7 @@ func (h *refillHook) Retire(res engine.Result) {
 	s.mu.Lock()
 	s.served++
 	s.noteDeliveredLocked(p, served)
+	p.prefix.Release()
 	s.mu.Unlock()
 	s.notify() // Drain watches for progress
 }
@@ -160,7 +161,10 @@ func (h *refillHook) Refill(free int) []engine.Admission {
 	for _, p := range chosen {
 		h.members[p.req.ID] = p
 		h.admitted = append(h.admitted, p)
-		adms = append(adms, engine.Admission{ID: p.req.ID, Tokens: p.tokens})
+		adms = append(adms, engine.Admission{
+			ID: p.req.ID, Tokens: p.tokens,
+			PrefixLen: p.prefixLen, CachedLen: p.cachedLen,
+		})
 	}
 	h.mu.Unlock()
 	return adms
@@ -201,14 +205,17 @@ func (h *refillHook) Reject(adm engine.Admission, err error) {
 // budget (TimeoutSlack). The running total keeps the watchdog calibrated to
 // the batch's current composition.
 func (s *Server) admissionBudget(adm engine.Admission) time.Duration {
+	// A prefix-cache hit only encodes (and occupies) its uncached suffix, so
+	// the budget tracks the resident length.
+	n := adm.Resident()
 	if s.cfg.PredictAdmission != nil {
-		return s.cfg.PredictAdmission(len(adm.Tokens))
+		return s.cfg.PredictAdmission(n)
 	}
 	if s.cfg.PredictBatch == nil {
 		return 0
 	}
-	items := []batch.Item{{ID: adm.ID, Len: len(adm.Tokens)}}
-	b, _ := batch.PackNaive(items, 1, len(adm.Tokens))
+	items := []batch.Item{{ID: adm.ID, Len: n}}
+	b, _ := batch.PackNaive(items, 1, n)
 	if b == nil {
 		return 0
 	}

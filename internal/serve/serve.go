@@ -27,6 +27,7 @@ import (
 	"tcb/internal/batch"
 	"tcb/internal/engine"
 	"tcb/internal/fair"
+	"tcb/internal/prefixcache"
 	"tcb/internal/sched"
 	"tcb/internal/tensor"
 )
@@ -194,6 +195,19 @@ type Config struct {
 	// token length for WFQ stamping (e.g. a cost.Params-derived seconds
 	// estimate). Nil means raw token count — only ratios matter to WFQ.
 	PredictRequestCost func(lenTokens int) float64
+
+	// PrefixCache enables shared-prompt prefix sharing: a submission that
+	// declares a prefix (SubmitOptions.PrefixLen) whose tokens are resident
+	// is pinned at admission and occupies only its uncached suffix in the
+	// batch; cold declared prefixes are frozen by the engine on completion
+	// for later submissions to hit. The SAME cache must be wired into the
+	// engine (engine.Engine.PrefixCache) — the server pins and accounts, the
+	// engine reads and inserts. The server owns the cache's lifecycle: it is
+	// cleared when the serving loop exits so device accounting balances.
+	// Requires an engine with the KV-cached decoder (engine.Config.UseCache).
+	// Nil disables prefix sharing; submissions may still declare PrefixLen
+	// (they encode split but nothing is frozen or reused).
+	PrefixCache *prefixcache.Cache
 }
 
 // Stats is a point-in-time snapshot of server counters.
@@ -248,6 +262,12 @@ type Stats struct {
 	// FLOPs actually flowed through. Process-wide, not per-server — in a
 	// multi-replica cluster every replica reports the same process totals.
 	Kernels tensor.KernelCounts
+
+	// Prefix snapshots the prefix cache's counters (hits, misses, tokens
+	// saved, resident bytes); zero when prefix sharing is off.
+	Prefix prefixcache.Stats
+	// PrefixEnabled reports whether a prefix cache is attached.
+	PrefixEnabled bool
 
 	// Tenants breaks terminal outcomes down by tenant (untagged traffic is
 	// the "default" tenant); nil until the first submission. Throttled is
@@ -315,6 +335,14 @@ type pending struct {
 	class     string
 	vfinish   float64
 	stampDone bool
+	// prefixLen is the declared shared-prefix boundary (0 = none);
+	// cachedLen is 0 (cold) or prefixLen (prefix-cache hit — req.Len then
+	// counts the uncached suffix only, and prefix pins the cache entry from
+	// admission until the request's terminal outcome). tokens always holds
+	// the FULL sequence either way.
+	prefixLen int
+	cachedLen int
+	prefix    prefixcache.Handle
 }
 
 // Server is a running TCB serving instance.
@@ -583,6 +611,13 @@ type SubmitOptions struct {
 	// sched.Request.Utility and, when the deadline argument is <= 0, its
 	// deadline default applies.
 	Class string
+	// PrefixLen declares that the request's first PrefixLen tokens are a
+	// shared prompt prefix (0 = none; must leave a non-empty suffix). With
+	// Config.PrefixCache set, a resident prefix is pinned at admission and
+	// the request occupies only its suffix in the batch; a cold prefix is
+	// frozen by the engine on completion for later submissions. Outputs are
+	// identical either way — only the work changes.
+	PrefixLen int
 }
 
 // Submit enqueues a request that must be scheduled within the given
@@ -592,32 +627,52 @@ func (s *Server) Submit(tokens []int, deadline time.Duration) (<-chan Response, 
 	return s.SubmitOpts(tokens, deadline, SubmitOptions{})
 }
 
-// SubmitOpts is Submit with tenant identity and an SLO class attached.
+// SubmitOpts is Submit with tenant identity, an SLO class and a declared
+// shared prefix attached.
 func (s *Server) SubmitOpts(tokens []int, deadline time.Duration, opt SubmitOptions) (<-chan Response, error) {
 	if len(tokens) == 0 {
 		return nil, fmt.Errorf("serve: empty request")
 	}
-	if len(tokens) > s.cfg.L {
-		return nil, &TooLongError{Len: len(tokens), Limit: s.cfg.L}
+	if opt.PrefixLen < 0 || opt.PrefixLen >= len(tokens) {
+		return nil, fmt.Errorf("serve: declared prefix of %d tokens leaves no suffix in a %d-token request", opt.PrefixLen, len(tokens))
 	}
-	if s.cfg.Scheme == batch.SlottedConcat && s.cfg.SlotSize > 0 && len(tokens) > s.cfg.SlotSize {
-		return nil, &TooLongError{Len: len(tokens), Limit: s.cfg.SlotSize, Slot: true}
+	// Resolve the prefix before the capacity checks: a hit occupies only its
+	// uncached suffix, so that is the length that must fit. The pin taken
+	// here is held until the request's terminal outcome, so the entry cannot
+	// be evicted under an in-flight request.
+	var pin prefixcache.Handle
+	cachedLen := 0
+	if opt.PrefixLen > 0 && s.cfg.PrefixCache != nil {
+		if pin = s.cfg.PrefixCache.Acquire(tokens, opt.PrefixLen); pin.Valid() {
+			cachedLen = opt.PrefixLen
+		}
+	}
+	reject := func(err error) (<-chan Response, error) {
+		pin.Release()
+		return nil, err
+	}
+	resident := len(tokens) - cachedLen
+	if resident > s.cfg.L {
+		return reject(&TooLongError{Len: resident, Limit: s.cfg.L})
+	}
+	if s.cfg.Scheme == batch.SlottedConcat && s.cfg.SlotSize > 0 && resident > s.cfg.SlotSize {
+		return reject(&TooLongError{Len: resident, Limit: s.cfg.SlotSize, Slot: true})
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	select {
 	case <-s.stop:
-		return nil, ErrServerClosed
+		return reject(ErrServerClosed)
 	default:
 	}
 	if s.draining {
-		return nil, ErrServerClosed
+		return reject(ErrServerClosed)
 	}
 	if len(s.queue) >= s.cfg.QueueCap {
-		return nil, ErrQueueFull
+		return reject(ErrQueueFull)
 	}
 	if s.breaker != nil && s.breaker.State() == BreakerOpen && len(s.queue) >= s.cfg.OpenQueueCap {
-		return nil, ErrBreakerOpen
+		return reject(ErrBreakerOpen)
 	}
 	var weight float64
 	if opt.Class != "" {
@@ -627,25 +682,37 @@ func (s *Server) SubmitOpts(tokens []int, deadline time.Duration, opt SubmitOpti
 			deadline = cls.Deadline
 		}
 	}
+	// The scheduler sees the resident length — on a hit, packing and utility
+	// already account for the work the cache saves. The request-level prefix
+	// declaration survives on the pending (and, cold, on the request) so the
+	// layout can rebuild the item's split.
+	reqPrefix := opt.PrefixLen
+	if cachedLen > 0 {
+		reqPrefix = 0
+	}
 	s.next++
 	id := s.next
 	now := s.clock()
 	p := &pending{
 		req: &sched.Request{
-			ID:       id,
-			Arrival:  now,
-			Deadline: now + deadline.Seconds(),
-			Len:      len(tokens),
-			Weight:   weight,
-			Tenant:   opt.Tenant,
+			ID:        id,
+			Arrival:   now,
+			Deadline:  now + deadline.Seconds(),
+			Len:       resident,
+			Weight:    weight,
+			Tenant:    opt.Tenant,
+			PrefixLen: reqPrefix,
 		},
-		tokens: tokens,
-		out:    make(chan Response, 1),
-		queued: time.Now(),
-		class:  opt.Class,
+		tokens:    tokens,
+		out:       make(chan Response, 1),
+		queued:    time.Now(),
+		class:     opt.Class,
+		prefixLen: opt.PrefixLen,
+		cachedLen: cachedLen,
+		prefix:    pin,
 	}
 	if s.wfq != nil {
-		p.vfinish = s.wfq.Stamp(tenantOf(p), len(tokens))
+		p.vfinish = s.wfq.Stamp(tenantOf(p), resident)
 	}
 	s.queue[id] = p
 	s.submitted++
@@ -704,6 +771,10 @@ func (s *Server) Stats() Stats {
 		Refilling:            s.refiller != nil,
 		Kernels:              tensor.KernelCounters(),
 		FairEnabled:          s.wfq != nil,
+	}
+	if s.cfg.PrefixCache != nil {
+		st.Prefix = s.cfg.PrefixCache.Stats()
+		st.PrefixEnabled = true
 	}
 	st.Tenants, st.JainGoodput = s.tenantStatsLocked()
 	st.ClassP99MS = s.classP99Locked()
@@ -777,8 +848,17 @@ func (s *Server) backoff(attempt int) float64 {
 	return d.Seconds()
 }
 
+// clearPrefixCache drops every cached prefix at loop exit so the cache's
+// device-memory charges balance to zero alongside the batch reservations.
+func (s *Server) clearPrefixCache() {
+	if s.cfg.PrefixCache != nil {
+		s.cfg.PrefixCache.Clear()
+	}
+}
+
 func (s *Server) loop() {
 	defer close(s.done)
+	defer s.clearPrefixCache()
 	for {
 		select {
 		case <-s.stop:
@@ -841,6 +921,7 @@ func (s *Server) selectBatch() *launch {
 			s.missed++
 			s.counterLocked(p).missed++
 			s.wfqRelease(p, false)
+			p.prefix.Release()
 		}
 	}
 	if state == BreakerOpen {
@@ -898,10 +979,10 @@ func (s *Server) selectBatch() *launch {
 
 	l := &launch{selected: selected, tokens: tokens}
 	if state == BreakerHalfOpen {
-		items := []batch.Item{{ID: chosen[0].ID, Len: chosen[0].Len}}
+		items := []batch.Item{itemFor(selected[0])}
 		l.b, _ = batch.PackNaive(items, 1, s.cfg.L)
 	} else {
-		l.b = s.layout(dec)
+		l.b = s.layout(dec, selected)
 	}
 	if s.preparer != nil {
 		ep, err := s.preparer.Prepare(l.b, l.tokens)
@@ -1025,6 +1106,7 @@ func (s *Server) completeBatch(l *launch, rep *engine.Report, err error, served 
 		okCount++
 		p.out <- Response{ID: p.req.ID, Output: r.Output, Queued: p.queued, Served: served}
 		s.noteDeliveredLocked(p, served)
+		p.prefix.Release()
 	}
 	s.served += okCount
 	s.inFlight--
@@ -1088,11 +1170,13 @@ func (s *Server) retireOrRequeueLocked(p *pending, err error, now float64, serve
 		s.missed++
 		s.counterLocked(p).missed++
 		s.wfqRelease(p, false)
+		p.prefix.Release()
 	case p.attempts >= s.cfg.Retry.MaxAttempts:
 		p.out <- Response{ID: p.req.ID, Err: err, Queued: p.queued, Served: served}
 		s.failed++
 		s.counterLocked(p).failed++
 		s.wfqRelease(p, false)
+		p.prefix.Release()
 	default:
 		p.notBefore = now + s.backoff(p.attempts)
 		s.queue[p.req.ID] = p
@@ -1128,6 +1212,7 @@ func (s *Server) shedLocked() {
 		delete(s.queue, p.req.ID)
 		s.shed++
 		s.counterLocked(p).shed++
+		p.prefix.Release()
 	}
 }
 
@@ -1143,14 +1228,27 @@ func probeDecision(pool []*sched.Request) sched.Decision {
 	return sched.Decision{Rows: [][]*sched.Request{{best}}}
 }
 
+// itemFor rebuilds a pending's batch item, restoring the prefix declaration
+// the scheduler never saw: req.Len is already the resident length (suffix
+// only on a hit), so the item slots straight into the packed row.
+func itemFor(p *pending) batch.Item {
+	return batch.Item{ID: p.req.ID, Len: p.req.Len, PrefixLen: p.prefixLen, CachedLen: p.cachedLen}
+}
+
 // layout converts a decision to a batch under the configured scheme.
-func (s *Server) layout(dec sched.Decision) *batch.Batch {
-	items := make([]batch.Item, 0, len(dec.Chosen()))
-	for _, r := range dec.Chosen() {
-		items = append(items, batch.Item{ID: r.ID, Len: r.Len})
+// selected carries the pending entries for every chosen request (any order)
+// so items can restore their prefix declarations.
+func (s *Server) layout(dec sched.Decision, selected []*pending) *batch.Batch {
+	byID := make(map[int64]*pending, len(selected))
+	for _, p := range selected {
+		byID[p.req.ID] = p
 	}
 	switch s.cfg.Scheme {
 	case batch.Naive:
+		items := make([]batch.Item, 0, len(dec.Chosen()))
+		for _, r := range dec.Chosen() {
+			items = append(items, itemFor(byID[r.ID]))
+		}
 		b, _ := batch.PackNaive(items, len(items), s.cfg.L)
 		return b
 	case batch.SlottedConcat:
@@ -1170,7 +1268,7 @@ func (s *Server) layout(dec sched.Decision) *batch.Batch {
 			}
 			r := batch.Row{PadTo: s.cfg.L}
 			for _, req := range row {
-				r.Items = append(r.Items, batch.Item{ID: req.ID, Len: req.Len})
+				r.Items = append(r.Items, itemFor(byID[req.ID]))
 			}
 			b.Rows = append(b.Rows, r)
 		}
@@ -1183,7 +1281,7 @@ func (s *Server) layout(dec sched.Decision) *batch.Batch {
 			}
 			r := batch.Row{PadTo: s.cfg.L}
 			for _, req := range row {
-				r.Items = append(r.Items, batch.Item{ID: req.ID, Len: req.Len})
+				r.Items = append(r.Items, itemFor(byID[req.ID]))
 			}
 			b.Rows = append(b.Rows, r)
 		}
@@ -1200,5 +1298,6 @@ func (s *Server) failAll(err error) {
 		s.failed++
 		s.counterLocked(p).failed++
 		s.wfqRelease(p, false)
+		p.prefix.Release()
 	}
 }

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"testing"
+
+	"tcb/internal/batch"
+	"tcb/internal/sched"
+	"tcb/internal/workload"
+)
+
+// prefixTrace generates a trace whose requests share prefixes from a pool.
+func prefixTrace(t *testing.T, rate, duration, reuse float64, pool, prefixLen int, seed uint64) []*sched.Request {
+	t.Helper()
+	spec := workload.PaperSpec(rate, duration, seed)
+	spec.PrefixPool = pool
+	spec.PrefixReuse = reuse
+	spec.PrefixLen = prefixLen
+	reqs, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func TestPrefixCacheDiscountsBusyTime(t *testing.T) {
+	reqs := prefixTrace(t, 200, 3, 0.7, 4, 30, 7)
+	sysOff := system("off", sched.NewDAS(), batch.Concat)
+	sysOff.L = 200 // prefixed requests are longer than the paper's 100
+	sysOn := sysOff
+	sysOn.Name = "on"
+	sysOn.PrefixCache = true
+
+	mOff, err := Run(sysOff, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOn, err := Run(sysOn, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mOff.PrefixHits != 0 || mOff.PrefixMisses != 0 || mOff.PrefixSecondsSaved != 0 {
+		t.Fatalf("cache off must not count prefixes: %+v", mOff)
+	}
+	if mOn.PrefixHits == 0 {
+		t.Fatal("a 70%-reuse trace must produce cache hits")
+	}
+	if mOn.PrefixMisses == 0 {
+		t.Fatal("first encodes must count as misses")
+	}
+	if mOn.PrefixTokensSaved == 0 || mOn.PrefixSecondsSaved <= 0 {
+		t.Fatalf("hits must save tokens and time: %+v", mOn)
+	}
+	if mOn.BusySeconds >= mOff.BusySeconds {
+		t.Fatalf("cache must reduce busy time: on=%g off=%g", mOn.BusySeconds, mOff.BusySeconds)
+	}
+	if hr := mOn.PrefixHitRate(); hr <= 0 || hr >= 1 {
+		t.Fatalf("hit rate %g outside (0, 1)", hr)
+	}
+	// The cache changes timing, never the request accounting.
+	if mOn.Generated != mOff.Generated {
+		t.Fatalf("generated mismatch: %d vs %d", mOn.Generated, mOff.Generated)
+	}
+	if mOn.Scheduled+mOn.Expired != mOn.Generated {
+		t.Fatalf("conservation broken: %+v", mOn)
+	}
+}
+
+func TestPrefixCacheNoPrefixTraceUnchanged(t *testing.T) {
+	reqs := trace(t, 150, 2, 20, 3)
+	sysOff := system("off", sched.NewDAS(), batch.Concat)
+	sysOn := sysOff
+	sysOn.PrefixCache = true
+	mOff, err := Run(sysOff, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOn, err := Run(sysOn, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mOn.PrefixHits != 0 || mOn.PrefixMisses != 0 {
+		t.Fatalf("no request declared a prefix: %+v", mOn)
+	}
+	if mOn.BusySeconds != mOff.BusySeconds || mOn.SimSeconds != mOff.SimSeconds ||
+		mOn.Scheduled != mOff.Scheduled || mOn.Utility != mOff.Utility {
+		t.Fatalf("enabling the cache on a prefix-free trace changed the run:\non:  %+v\noff: %+v", mOn, mOff)
+	}
+}
+
+// Same-batch siblings of a fresh prefix all pay full price — residency
+// follows the engine's post-encode freeze, so a prefix is reusable only
+// from the batch after the one that first encoded it.
+func TestPrefixResidencyIsPostBatch(t *testing.T) {
+	mk := func(id int64, arrival float64) *sched.Request {
+		return &sched.Request{
+			ID: id, Arrival: arrival, Deadline: arrival + 100,
+			Len: 20, PrefixLen: 10, PrefixID: 1,
+		}
+	}
+	// Requests 1 and 2 arrive together (one batch: B=8, L=100 holds both);
+	// request 3 arrives after that batch completes.
+	reqs := []*sched.Request{mk(1, 0), mk(2, 0), mk(3, 50)}
+	sys := system("post-batch", sched.NewDAS(), batch.Concat)
+	sys.PrefixCache = true
+	m, err := Run(sys, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PrefixMisses != 2 || m.PrefixHits != 1 {
+		t.Fatalf("want 2 misses (same-batch siblings) + 1 hit, got misses=%d hits=%d",
+			m.PrefixMisses, m.PrefixHits)
+	}
+	if m.PrefixTokensSaved != 10 {
+		t.Fatalf("tokens saved = %d, want 10", m.PrefixTokensSaved)
+	}
+}
+
+// Each cluster replica keeps its own residency: the same prefix routed to
+// two replicas is encoded (missed) once per replica.
+func TestClusterPrefixPerReplica(t *testing.T) {
+	var reqs []*sched.Request
+	for i := int64(1); i <= 8; i++ {
+		reqs = append(reqs, &sched.Request{
+			ID: i, Arrival: float64(i) * 0.5, Deadline: float64(i)*0.5 + 100,
+			Len: 20, PrefixLen: 10, PrefixID: 1,
+		})
+	}
+	sys := system("cluster-prefix", sched.NewDAS(), batch.Concat)
+	sys.PrefixCache = true
+	m, err := RunCluster(ClusterSystem{Template: sys, Replicas: 2, Route: RouteRoundRobin}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Lost != 0 {
+		t.Fatalf("lost %d requests", m.Lost)
+	}
+	// Arrivals are spaced out (one per batch), alternating replicas: each
+	// replica misses its first sight of the prefix and hits thereafter.
+	if m.PrefixMisses != 2 {
+		t.Fatalf("2 replicas must miss once each, got %d misses", m.PrefixMisses)
+	}
+	if m.PrefixHits != len(reqs)-2 {
+		t.Fatalf("hits = %d, want %d", m.PrefixHits, len(reqs)-2)
+	}
+}
+
+// A killed replica loses its cache: post-recovery traffic misses again.
+func TestClusterPrefixResetOnFault(t *testing.T) {
+	var reqs []*sched.Request
+	for i := int64(1); i <= 6; i++ {
+		reqs = append(reqs, &sched.Request{
+			ID: i, Arrival: float64(i), Deadline: float64(i) + 100,
+			Len: 20, PrefixLen: 10, PrefixID: 1,
+		})
+	}
+	sys := system("fault-prefix", sched.NewDAS(), batch.Concat)
+	sys.PrefixCache = true
+	cs := ClusterSystem{
+		Template: sys, Replicas: 1, Route: RouteRoundRobin,
+		Faults: []Fault{{Replica: 0, At: 3.5, RecoverAt: 3.6}},
+	}
+	m, err := RunCluster(cs, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first request before the fault misses; the first after recovery
+	// misses again because the cache died with the replica.
+	if m.PrefixMisses < 2 {
+		t.Fatalf("recovered replica must re-encode the prefix: misses=%d", m.PrefixMisses)
+	}
+}

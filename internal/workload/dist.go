@@ -140,6 +140,7 @@ func GenerateWithDist(spec Spec, dist LengthDist) ([]*sched.Request, error) {
 		return nil, fmt.Errorf("workload: nil length distribution")
 	}
 	src := rng.New(spec.Seed)
+	psrc := spec.prefixSource()
 	var out []*sched.Request
 	now := 0.0
 	id := int64(1)
@@ -156,13 +157,15 @@ func GenerateWithDist(spec Spec, dist LengthDist) ([]*sched.Request, error) {
 			ln = spec.MaxLen
 		}
 		off := spec.DeadlineMin + src.Float64()*(spec.DeadlineMax-spec.DeadlineMin)
-		out = append(out, &sched.Request{
+		r := &sched.Request{
 			ID:       id,
 			Arrival:  now,
 			Deadline: now + off,
 			Len:      ln,
 			Tenant:   spec.Tenant,
-		})
+		}
+		spec.applyPrefix(psrc, r)
+		out = append(out, r)
 		id++
 	}
 	return out, nil

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func prefixSpec(seed uint64) Spec {
+	sp := PaperSpec(300, 2, seed)
+	sp.PrefixPool = 4
+	sp.PrefixReuse = 0.6
+	sp.PrefixLen = 25
+	return sp
+}
+
+func TestPrefixDimension(t *testing.T) {
+	reqs, err := Generate(prefixSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prefixed int
+	ids := map[int64]bool{}
+	for _, r := range reqs {
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if r.PrefixID == 0 {
+			if r.PrefixLen != 0 {
+				t.Fatalf("request %d has PrefixLen %d without a PrefixID", r.ID, r.PrefixLen)
+			}
+			continue
+		}
+		prefixed++
+		ids[r.PrefixID] = true
+		if r.PrefixID < 1 || r.PrefixID > 4 {
+			t.Fatalf("request %d PrefixID %d outside pool", r.ID, r.PrefixID)
+		}
+		if r.PrefixLen != 25 {
+			t.Fatalf("request %d PrefixLen = %d, want 25", r.ID, r.PrefixLen)
+		}
+		// Len = prefix + drawn suffix, suffix within the spec's bounds.
+		if suffix := r.Len - r.PrefixLen; suffix < 3 || suffix > 100 {
+			t.Fatalf("request %d suffix %d outside [3, 100]", r.ID, suffix)
+		}
+	}
+	if prefixed == 0 || prefixed == len(reqs) {
+		t.Fatalf("60%% reuse gave %d/%d prefixed requests", prefixed, len(reqs))
+	}
+	if len(ids) != 4 {
+		t.Fatalf("pool of 4 produced %d distinct IDs", len(ids))
+	}
+}
+
+// The prefix draws run strictly after the classic arrival/length/deadline
+// draws, so enabling the dimension never perturbs the underlying trace:
+// arrivals, deadlines and suffix lengths match the prefix-free trace of the
+// same seed, request for request.
+func TestPrefixPreservesDrawOrder(t *testing.T) {
+	base, err := Generate(PaperSpec(300, 2, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref, err := Generate(prefixSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(pref) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(base), len(pref))
+	}
+	for i := range base {
+		b, p := base[i], pref[i]
+		if b.Arrival != p.Arrival || b.Deadline != p.Deadline {
+			t.Fatalf("request %d timing differs: (%g, %g) vs (%g, %g)",
+				b.ID, b.Arrival, b.Deadline, p.Arrival, p.Deadline)
+		}
+		if b.Len != p.Len-p.PrefixLen {
+			t.Fatalf("request %d suffix %d != base length %d", b.ID, p.Len-p.PrefixLen, b.Len)
+		}
+	}
+}
+
+func TestPrefixRoundTrip(t *testing.T) {
+	spec := prefixSpec(5)
+	reqs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, &spec, reqs); err != nil {
+		t.Fatal(err)
+	}
+	spec2, got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec2.PrefixPool != spec.PrefixPool || spec2.PrefixReuse != spec.PrefixReuse || spec2.PrefixLen != spec.PrefixLen {
+		t.Fatalf("spec round trip lost prefix fields: %+v", spec2)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("round trip lost requests: %d vs %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if *got[i] != *reqs[i] {
+			t.Fatalf("request %d round trip mismatch:\nwant %+v\ngot  %+v", i, reqs[i], got[i])
+		}
+	}
+}
+
+func TestPrefixValidate(t *testing.T) {
+	cases := []func(*Spec){
+		func(s *Spec) { s.PrefixPool = -1 },
+		func(s *Spec) { s.PrefixReuse = 1.5 },
+		func(s *Spec) { s.PrefixReuse = -0.1 },
+		func(s *Spec) { s.PrefixPool = 2; s.PrefixLen = 0 },
+	}
+	for i, mutate := range cases {
+		sp := PaperSpec(100, 1, 1)
+		mutate(&sp)
+		if sp.Validate() == nil {
+			t.Fatalf("case %d: invalid prefix spec accepted: %+v", i, sp)
+		}
+	}
+}
+
+// GenerateWithDist draws the same prefix dimension.
+func TestPrefixWithDist(t *testing.T) {
+	spec := prefixSpec(9)
+	reqs, err := GenerateWithDist(spec, NormalLengths{Mean: 20, Variance: 20, Min: 3, Max: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prefixed int
+	for _, r := range reqs {
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if r.PrefixID != 0 {
+			prefixed++
+		}
+	}
+	if prefixed == 0 {
+		t.Fatal("dist generator must draw prefixes too")
+	}
+}

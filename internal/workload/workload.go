@@ -36,6 +36,21 @@ type Spec struct {
 	// mixes stitch several single-tenant specs together; see GenerateMix).
 	// Empty means untagged — the fairness layer's default tenant.
 	Tenant string `json:"tenant,omitempty"`
+	// PrefixPool, PrefixReuse and PrefixLen add a shared-prompt-prefix
+	// dimension for prefix-sharing KV cache experiments: with PrefixPool > 0
+	// each request independently reuses one of PrefixPool shared prefixes
+	// with probability PrefixReuse. A reusing request carries
+	// PrefixID ∈ [1, PrefixPool] and a PrefixLen-token declared prefix, and
+	// its total length is PrefixLen + the drawn suffix length (the normal
+	// draw keeps its meaning: tokens unique to the request). Prefix draws
+	// come from an independent rng stream derived from Seed, so the base
+	// trace — arrivals, deadlines, suffix lengths — is bit-identical whether
+	// the dimension is on or off. Streams in a GenerateMix share the PrefixID
+	// space — the "same system prompt across tenants" case; give streams
+	// disjoint pools by construction if isolation is wanted.
+	PrefixPool  int     `json:"prefix_pool,omitempty"`
+	PrefixReuse float64 `json:"prefix_reuse,omitempty"`
+	PrefixLen   int     `json:"prefix_len,omitempty"`
 }
 
 // PaperSpec returns §6.2.1's workload: lengths 3–100, mean 20, variance 20,
@@ -62,6 +77,12 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("workload: variance %g negative", s.VarLen)
 	case s.DeadlineMin < 0 || s.DeadlineMax < s.DeadlineMin:
 		return fmt.Errorf("workload: deadline range [%g, %g] invalid", s.DeadlineMin, s.DeadlineMax)
+	case s.PrefixPool < 0:
+		return fmt.Errorf("workload: prefix pool %d negative", s.PrefixPool)
+	case s.PrefixReuse < 0 || s.PrefixReuse > 1:
+		return fmt.Errorf("workload: prefix reuse %g outside [0, 1]", s.PrefixReuse)
+	case s.PrefixPool > 0 && s.PrefixLen <= 0:
+		return fmt.Errorf("workload: prefix pool %d needs a positive prefix length, got %d", s.PrefixPool, s.PrefixLen)
 	}
 	return nil
 }
@@ -73,6 +94,7 @@ func Generate(spec Spec) ([]*sched.Request, error) {
 		return nil, err
 	}
 	src := rng.New(spec.Seed)
+	psrc := spec.prefixSource()
 	stddev := math.Sqrt(spec.VarLen)
 	var out []*sched.Request
 	now := 0.0
@@ -84,16 +106,45 @@ func Generate(spec Spec) ([]*sched.Request, error) {
 		}
 		ln := src.TruncatedNormalInt(spec.MeanLen, stddev, spec.MinLen, spec.MaxLen)
 		off := spec.DeadlineMin + src.Float64()*(spec.DeadlineMax-spec.DeadlineMin)
-		out = append(out, &sched.Request{
+		r := &sched.Request{
 			ID:       id,
 			Arrival:  now,
 			Deadline: now + off,
 			Len:      ln,
 			Tenant:   spec.Tenant,
-		})
+		}
+		spec.applyPrefix(psrc, r)
+		out = append(out, r)
 		id++
 	}
 	return out, nil
+}
+
+// prefixSeedSalt decorrelates the prefix stream from the main draw stream
+// derived from the same Seed.
+const prefixSeedSalt = 0x9E3779B97F4A7C15
+
+// prefixSource returns the generator for the shared-prefix dimension: an
+// independent stream derived from Seed, nil when the dimension is off. A
+// separate stream means the base trace — arrivals, deadlines, suffix
+// lengths — is bit-identical whether or not prefixes are drawn, so prefix
+// experiments A/B against the exact workload they would run without them.
+func (s Spec) prefixSource() *rng.Source {
+	if s.PrefixPool <= 0 {
+		return nil
+	}
+	return rng.New(s.Seed ^ prefixSeedSalt)
+}
+
+// applyPrefix draws the shared-prefix dimension for one request from the
+// dedicated stream (nil = dimension off).
+func (s Spec) applyPrefix(psrc *rng.Source, r *sched.Request) {
+	if psrc == nil || psrc.Float64() >= s.PrefixReuse {
+		return
+	}
+	r.PrefixID = int64(1 + psrc.Intn(s.PrefixPool))
+	r.PrefixLen = s.PrefixLen
+	r.Len += s.PrefixLen
 }
 
 // traceFile is the JSON on-disk representation.
@@ -103,19 +154,25 @@ type traceFile struct {
 }
 
 type traceFileItem struct {
-	ID       int64   `json:"id"`
-	Arrival  float64 `json:"arrival"`
-	Deadline float64 `json:"deadline"`
-	Len      int     `json:"len"`
-	Weight   float64 `json:"weight,omitempty"`
-	Tenant   string  `json:"tenant,omitempty"`
+	ID        int64   `json:"id"`
+	Arrival   float64 `json:"arrival"`
+	Deadline  float64 `json:"deadline"`
+	Len       int     `json:"len"`
+	Weight    float64 `json:"weight,omitempty"`
+	Tenant    string  `json:"tenant,omitempty"`
+	PrefixLen int     `json:"prefix_len,omitempty"`
+	PrefixID  int64   `json:"prefix_id,omitempty"`
 }
 
 // Save writes a trace (and optionally the spec that produced it) as JSON.
 func Save(w io.Writer, spec *Spec, reqs []*sched.Request) error {
 	tf := traceFile{Spec: spec}
 	for _, r := range reqs {
-		tf.Requests = append(tf.Requests, traceFileItem{r.ID, r.Arrival, r.Deadline, r.Len, r.Weight, r.Tenant})
+		tf.Requests = append(tf.Requests, traceFileItem{
+			ID: r.ID, Arrival: r.Arrival, Deadline: r.Deadline, Len: r.Len,
+			Weight: r.Weight, Tenant: r.Tenant,
+			PrefixLen: r.PrefixLen, PrefixID: r.PrefixID,
+		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -130,7 +187,11 @@ func Load(r io.Reader) (*Spec, []*sched.Request, error) {
 	}
 	var out []*sched.Request
 	for i, it := range tf.Requests {
-		req := &sched.Request{ID: it.ID, Arrival: it.Arrival, Deadline: it.Deadline, Len: it.Len, Weight: it.Weight, Tenant: it.Tenant}
+		req := &sched.Request{
+			ID: it.ID, Arrival: it.Arrival, Deadline: it.Deadline, Len: it.Len,
+			Weight: it.Weight, Tenant: it.Tenant,
+			PrefixLen: it.PrefixLen, PrefixID: it.PrefixID,
+		}
 		if err := req.Validate(); err != nil {
 			return nil, nil, fmt.Errorf("workload: request %d: %w", i, err)
 		}
